@@ -1,0 +1,24 @@
+# Convenience targets for the repro toolkit.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce reproduce-full clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reproduce:
+	$(PYTHON) examples/reproduce_paper.py --scale 0.05 --out reproduction_results
+
+reproduce-full:
+	$(PYTHON) examples/reproduce_paper.py --scale 1.0 --out reproduction_fullscale
+
+clean:
+	rm -rf reproduction_results benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

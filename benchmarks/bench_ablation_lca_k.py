@@ -1,0 +1,41 @@
+"""Ablation: latent-class count selection by BIC.
+
+The paper selects a 12-class model as "the most accurate and parsimonious
+(per AIC and BIC)".  This bench sweeps the class count on the user-month
+panel and reports the BIC curve — the criterion should improve steeply up
+to the true structural classes and flatten after, and multi-class models
+must beat the one-class baseline decisively.
+"""
+
+import numpy as np
+
+from repro.analysis.latent import FEATURE_NAMES, user_month_profiles
+from repro.report.experiments import ExperimentReport
+from repro.stats.mixture import fit_poisson_mixture
+
+
+def _bic_sweep(dataset, k_values):
+    panel, _ = user_month_profiles(dataset)
+    pooled = np.vstack([np.vstack(list(p.values())) for p in panel if p])
+    scores = {}
+    for k in k_values:
+        model = fit_poisson_mixture(
+            pooled, k, n_init=2, seed=k, feature_names=list(FEATURE_NAMES)
+        )
+        scores[k] = model.bic
+    return scores
+
+
+def test_lca_class_count_sweep(benchmark, sim, report_sink):
+    k_values = (1, 2, 4, 6, 8, 10, 12)
+    scores = benchmark.pedantic(
+        _bic_sweep, args=(sim.dataset, k_values), rounds=1, iterations=1
+    )
+    lines = [f"k={k:>2d}  BIC={scores[k]:,.0f}" for k in k_values]
+    best = min(scores, key=scores.get)
+    lines.append(f"BIC-best k: {best}")
+    report_sink(ExperimentReport(
+        "ablation_lca_k", "Ablation: latent class count (BIC sweep)", lines, scores
+    ))
+    assert scores[1] > scores[6]  # structure clearly beats one class
+    assert best >= 6              # rich class structure, as in the paper

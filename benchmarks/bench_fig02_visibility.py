@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 2: public-contract share.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig02.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig02(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig02", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3: type proportions.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig03.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig03(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig03", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 4: completion times.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig04.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig04(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig04", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 5: top-percentile concentration.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig05.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig05(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig05", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 6: key member/thread share.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig06.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig06(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig06", ctx)
+    report_sink(report)
+    assert report.lines

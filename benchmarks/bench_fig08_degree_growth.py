@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 8: degree growth.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig08.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig08(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig08", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 10: payment-method evolution.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig10.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig10(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig10", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 11: traded-value evolution.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig11.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig11(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig11", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 12: transactions made per class.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig12.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig12(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig12", ctx)
+    report_sink(report)
+    assert report.lines

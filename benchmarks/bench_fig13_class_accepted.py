@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 13: transactions accepted per class.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/fig13.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_fig13(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "fig13", ctx)
+    report_sink(report)
+    assert report.lines

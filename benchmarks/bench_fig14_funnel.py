@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the contract-process funnel (Appendix Fig. 14).
+
+Most proposals are accepted (denied 0.09% + expired 6.3% in the paper);
+conditional on acceptance, roughly half complete.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_funnel(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "funnel", ctx)
+    report_sink(report)
+    assert report.data.acceptance_rate > 0.85

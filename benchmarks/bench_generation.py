@@ -1,0 +1,32 @@
+"""Benchmark: simulator generation throughput.
+
+Tracks how fast the market generator runs at the benchmark scale — a
+regression here makes every other experiment slower.  At full scale
+(191k contracts) generation takes ~30s; this bench uses a small scale so
+the harness stays quick.
+"""
+
+from repro.synth import generate_market
+
+
+def test_generation_throughput(benchmark):
+    result = benchmark.pedantic(
+        generate_market,
+        kwargs={"scale": 0.02, "seed": 99, "generate_posts": True},
+        rounds=3,
+        iterations=1,
+    )
+    summary = result.dataset.summary()
+    assert summary["contracts"] > 3000
+    assert summary["participants"] > 500
+
+
+def test_generation_without_posts(benchmark):
+    result = benchmark.pedantic(
+        generate_market,
+        kwargs={"scale": 0.02, "seed": 99, "generate_posts": False},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.dataset.posts) == 0
+    assert len(result.dataset.contracts) > 3000

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Section 4.5: trading values and verification.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/sec45.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_sec45(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "sec45", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the dispute-rate analysis (§5.1/§6 conflict arc).
+
+Dispute rates sit near 1%, bulge to 2-3x over the last months of SET-UP
+(Tuckman's storming), and settle in STABLE.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_disputes(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "disputes", ctx)
+    report_sink(report)
+    assert report.lines

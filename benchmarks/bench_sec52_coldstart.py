@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Section 5.2: cold start summary.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/sec52.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_sec52(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "sec52", ctx)
+    report_sink(report)
+    assert report.lines

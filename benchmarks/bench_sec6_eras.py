@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the era profiles and the stimulus test (§6).
+
+The COVID-19 era must read as a *stimulus* (volume up, composition flat),
+not a transformation.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_eras(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "eras", ctx)
+    report_sink(report)
+    assert report.lines
+    _, outcome = report.data
+    assert outcome.is_stimulus or outcome.volume_ratio > 1.0

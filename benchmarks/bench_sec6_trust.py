@@ -1,0 +1,15 @@
+"""Benchmark: reputation as trust infrastructure (§6 discussion).
+
+The public record concentrates reputation around the core over time, and
+earlier cohorts keep their head start.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_trust(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "trust", ctx)
+    report_sink(report)
+    concentration, cohorts = report.data
+    assert concentration
+    assert set(cohorts) == {"SET-UP", "STABLE", "COVID-19"}

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1: contract taxonomy by type and status.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table1.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table1(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table1", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 2: visibility of contract types.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table2.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table2(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table2", ctx)
+    report_sink(report)
+    assert report.lines

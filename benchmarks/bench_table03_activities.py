@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 3: top 15 trading activities.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table3.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table3(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table3", ctx)
+    report_sink(report)
+    assert report.lines

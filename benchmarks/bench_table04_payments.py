@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 4: top 10 payment methods.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table4.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table4(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table4", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 5: activities and payment methods by value.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table5.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table5(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table5", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 6: latent classes (Poisson LCA).
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table6.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table6(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table6", ctx)
+    report_sink(report)
+    assert report.lines

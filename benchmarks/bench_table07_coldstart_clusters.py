@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 7: cold-start outlier clusters.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table7.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table7(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table7", ctx)
+    report_sink(report)
+    assert report.lines

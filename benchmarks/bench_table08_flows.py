@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 8: top maker->taker class flows.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table8.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table8(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table8", ctx)
+    report_sink(report)
+    assert report.lines

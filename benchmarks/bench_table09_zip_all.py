@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 9: ZIP regression, all users.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table9.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table9(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table9", ctx)
+    report_sink(report)
+    assert report.lines

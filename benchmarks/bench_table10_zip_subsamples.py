@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 10: ZIP regression, sub-samples.
+
+Runs the registered experiment against the shared synthetic market and
+times the analysis; the regenerated artefact is written to
+``benchmarks/results/table10.txt``.
+"""
+
+from repro.report.experiments import run_experiment
+
+
+def test_table10(benchmark, ctx, report_sink):
+    report = benchmark(run_experiment, "table10", ctx)
+    report_sink(report)
+    assert report.lines

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures from a
+synthetic market and times the analysis.  The market scale is controlled
+by ``REPRO_BENCH_SCALE`` (default 0.05 — ~9.5k contracts — so the full
+harness runs in a couple of minutes; set 1.0 to reproduce the paper's
+~190k-contract volume).
+
+Every report is also written to ``benchmarks/results/<id>.txt`` so the
+regenerated tables/figures can be diffed against the paper after a run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import ExperimentContext, generate_market
+from repro.report.experiments import ExperimentReport
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20201027"))
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def sim():
+    """The benchmark market (shared across all benches)."""
+    return generate_market(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def ctx(sim):
+    """Shared experiment context (latent model and values cached)."""
+    return ExperimentContext(sim, latent_k=12, seed=0)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write each regenerated artefact under benchmarks/results/."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+
+    def write(report: ExperimentReport) -> None:
+        path = os.path.join(_RESULTS_DIR, f"{report.experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(report.text())
+            handle.write("\n")
+
+    return write

@@ -1,0 +1,73 @@
+"""Stimulus or transformation?  The paper's COVID-19 question, formalised.
+
+Run::
+
+    python examples/covid_stimulus.py [--scale 0.05]
+
+Compares the COVID-19 era against late STABLE on volume, composition and
+dispute behaviour, and runs the paper's §7 intervention thought
+experiment: the same Sybil attack budget aimed at the trust signal in
+each era (earliest = most damaging).
+"""
+
+import argparse
+
+from repro import generate_market
+from repro.analysis import (
+    dispute_summary,
+    era_profiles,
+    stimulus_test,
+)
+from repro.interventions import era_vulnerability
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args()
+
+    result = generate_market(scale=args.scale, seed=args.seed)
+    dataset = result.dataset
+
+    print("=== Era profiles ===")
+    print(f"{'era':<9s} {'contracts':>10s} {'/month':>8s} {'compl.':>7s} "
+          f"{'public':>7s} {'members':>8s} {'new':>7s}")
+    for profile in era_profiles(dataset):
+        print(f"{profile.short:<9s} {profile.contracts:>10,} "
+              f"{profile.contracts_per_month:>8,.0f} {profile.completion_rate:>7.1%} "
+              f"{profile.public_share:>7.1%} {profile.members:>8,} "
+              f"{profile.new_members:>7,}")
+
+    print("\n=== Stimulus vs transformation ===")
+    outcome = stimulus_test(dataset)
+    print(f"COVID-19 volume vs late STABLE: x{outcome.volume_ratio:.2f}")
+    print(f"contract-type mix drift (total variation): {outcome.type_drift:.3f}")
+    print(f"product-category mix drift: {outcome.category_drift:.3f}")
+    print(f"chi-square on type mix: {outcome.chi2_statistic:.1f} "
+          f"(p={outcome.chi2_p_value:.2g})")
+    verdict = ("STIMULUS — more of the same market"
+               if outcome.is_stimulus else
+               ("TRANSFORMATION — the mix changed" if outcome.is_transformation
+                else "inconclusive"))
+    print(f"verdict: {verdict}")
+
+    print("\n=== Conflict: disputes through the eras ===")
+    disputes = dispute_summary(dataset)
+    for era_name, rate in disputes.rate_by_era.items():
+        print(f"{era_name:<9s} dispute rate {rate * 100:.2f}%")
+    print(f"peak month: {disputes.peak_month} at {disputes.peak_rate * 100:.2f}% "
+          "(the paper's late-SET-UP 'storming' bulge)")
+
+    print("\n=== Intervention timing: attack the trust signal early (§7) ===")
+    impacts = era_vulnerability(dataset, budget=300, targets=15)
+    for era_name, impact in impacts.items():
+        print(f"{era_name:<9s} distortion {impact.distortion:.3f} "
+              f"(rank corr {impact.rank_correlation:.3f}, "
+              f"top-50 displaced {impact.top_k_displaced * 100:.0f}%, "
+              f"median target drop {impact.median_target_drop:.0f})")
+    print("Same budget, earlier era, bigger scramble — as the paper argues.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Market centralisation and the contractual social network (§4.2).
+
+Run::
+
+    python examples/network_centralisation.py [--scale 0.05]
+
+Builds the contract graph, reports the raw/inbound/outbound degree
+structure (Figure 7), fits a power law to the raw degrees, tracks degree
+growth over the three eras (Figure 8), and prints the top-percentile
+concentration curves (Figure 5) and Gini coefficients.
+"""
+
+import argparse
+
+from repro import generate_market
+from repro.analysis import concentration_curves, key_share_by_month
+from repro.core import ERAS
+from repro.network import (
+    degree_distributions,
+    degree_growth,
+    fit_power_law,
+    loglik_ratio_vs_exponential,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    result = generate_market(scale=args.scale, seed=args.seed, generate_posts=False)
+    dataset = result.dataset
+
+    print("=== Degree structure (created contracts) ===")
+    dist = degree_distributions(dataset.contracts)
+    print(f"{dist.n_users:,} users, {dist.n_contracts:,} contracts")
+    for kind in ("raw", "inbound", "outbound"):
+        print(f"  {kind:<9s} max degree {dist.max_degree[kind]:>6,}  "
+              f"average {dist.average_degree[kind]:.2f}")
+    print("The hubs are inbound (contract acceptors), as in the paper: "
+          f"max inbound {dist.max_degree['inbound']:,} vs "
+          f"max outbound {dist.max_degree['outbound']:,}")
+
+    degrees = [d for d, c in dist.histogram["raw"].items() for _ in range(c)]
+    fit = fit_power_law(degrees)
+    ratio, normalised = loglik_ratio_vs_exponential(degrees, fit)
+    print(f"\npower-law fit: alpha={fit.alpha:.2f}, xmin={fit.xmin}, "
+          f"KS={fit.ks_statistic:.3f}; log-likelihood ratio vs exponential "
+          f"{ratio:+.1f} ({'heavy' if ratio > 0 else 'thin'} tail)")
+
+    print("\n=== Degree growth across eras (cumulative network) ===")
+    growth = degree_growth(dataset)
+    by_month = {point.month: point for point in growth}
+    for era in ERAS:
+        last = max(m for m in by_month if era.contains(m.first_day()))
+        point = by_month[last]
+        print(f"end of {era.name:<9s}: avg raw {point.average_raw:.2f}, "
+              f"max raw {point.max_raw:,}, max in {point.max_inbound:,}, "
+              f"max out {point.max_outbound:,}")
+
+    print("\n=== Concentration (Figure 5) ===")
+    curves = concentration_curves(dataset, percents=(1, 5, 10, 30, 50))
+    for percent in (1, 5, 10, 30, 50):
+        print(f"top {percent:>2d}% of users cover "
+              f"{curves.users_created[percent] * 100:5.1f}% of contracts; "
+              f"top {percent:>2d}% of threads cover "
+              f"{curves.threads_created[percent] * 100:5.1f}% of thread-linked contracts")
+    print(f"user Gini {curves.user_gini_created:.3f}, "
+          f"thread Gini {curves.thread_gini_created:.3f}")
+
+    print("\n=== Key (top-5%) members per era (Figure 6) ===")
+    points = key_share_by_month(dataset)
+    for era in ERAS:
+        in_era = [p for p in points if era.contains(p.month.first_day())]
+        avg = sum(p.key_members_created for p in in_era) / len(in_era)
+        print(f"{era.short}: key members cover {avg * 100:.1f}% of monthly contracts")
+
+
+if __name__ == "__main__":
+    main()

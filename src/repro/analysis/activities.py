@@ -1,0 +1,176 @@
+"""Trading-activity analysis (§4.3): Table 3 and Figure 9.
+
+The pipeline mirrors the paper: take the obligation sections of *public*
+contracts, normalise, categorise with the regex taxonomy, then count
+contracts and unique users per category, split by maker and taker side.
+A contract can land in several categories; for activities where both
+sides are one category (currency exchange), the "both sides" column
+counts the contract once, so the total is smaller than makers + takers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.dataset import MarketDataset
+from ..core.entities import Contract
+from ..core.timeutils import Month, month_of
+from ..text.taxonomy import (
+    CATEGORIES,
+    CATEGORY_LABELS,
+    UNCATEGORISED,
+    ActivityCategorizer,
+)
+
+__all__ = [
+    "ActivityRow",
+    "ActivityTable",
+    "top_trading_activities",
+    "product_evolution",
+    "EVOLUTION_EXCLUDED",
+]
+
+#: Figure 9 excludes these (examined separately in §4.4).
+EVOLUTION_EXCLUDED = ("currency_exchange", "payments")
+
+
+@dataclass
+class ActivityRow:
+    """One Table 3 row: contract and unique-user counts for a category."""
+
+    category: str
+    label: str
+    maker_contracts: int = 0
+    maker_users: Set[int] = field(default_factory=set)
+    taker_contracts: int = 0
+    taker_users: Set[int] = field(default_factory=set)
+    both_contracts: int = 0
+    both_users: Set[int] = field(default_factory=set)
+
+    def as_tuple(self) -> Tuple[str, int, int, int, int, int, int]:
+        """(label, makers, maker_users, takers, taker_users, both, both_users)."""
+        return (
+            self.label,
+            self.maker_contracts,
+            len(self.maker_users),
+            self.taker_contracts,
+            len(self.taker_users),
+            self.both_contracts,
+            len(self.both_users),
+        )
+
+
+@dataclass
+class ActivityTable:
+    """Table 3: per-category rows plus the all-activities summary row."""
+
+    rows: Dict[str, ActivityRow]
+    all_row: ActivityRow
+    n_contracts: int  # contracts analysed (completed public)
+
+    def top(self, count: int = 15, include_uncategorised: bool = False) -> List[ActivityRow]:
+        """Rows sorted by both-sides contract count, descending."""
+        rows = [
+            row
+            for key, row in self.rows.items()
+            if include_uncategorised or key != UNCATEGORISED
+        ]
+        rows.sort(key=lambda r: -r.both_contracts)
+        return rows[:count]
+
+    def share(self, category: str) -> float:
+        """Share of analysed contracts touching ``category``."""
+        row = self.rows.get(category)
+        if row is None or not self.all_row.both_contracts:
+            return 0.0
+        return row.both_contracts / self.all_row.both_contracts
+
+
+def _contracts_for_analysis(
+    dataset: MarketDataset, contracts: Optional[Sequence[Contract]]
+) -> List[Contract]:
+    if contracts is not None:
+        return list(contracts)
+    return dataset.completed_public()
+
+
+def top_trading_activities(
+    dataset: MarketDataset,
+    categorizer: Optional[ActivityCategorizer] = None,
+    contracts: Optional[Sequence[Contract]] = None,
+) -> ActivityTable:
+    """Categorise completed public contracts into activity buckets.
+
+    ``contracts`` overrides the default completed-public subset (useful
+    for per-era tables).
+    """
+    categorizer = categorizer or ActivityCategorizer()
+    subset = _contracts_for_analysis(dataset, contracts)
+
+    rows: Dict[str, ActivityRow] = {
+        key: ActivityRow(key, CATEGORY_LABELS.get(key, key))
+        for key in tuple(CATEGORIES) + (UNCATEGORISED,)
+    }
+    all_row = ActivityRow("all", "All Trading Activities")
+
+    for contract in subset:
+        maker_cats = categorizer.categorize(contract.maker_obligation)
+        taker_cats = categorizer.categorize(contract.taker_obligation)
+        both_cats = maker_cats | taker_cats
+        for category in maker_cats:
+            row = rows[category]
+            row.maker_contracts += 1
+            row.maker_users.add(contract.maker_id)
+        for category in taker_cats:
+            row = rows[category]
+            row.taker_contracts += 1
+            row.taker_users.add(contract.taker_id)
+        for category in both_cats:
+            row = rows[category]
+            row.both_contracts += 1
+            row.both_users.add(contract.maker_id)
+            row.both_users.add(contract.taker_id)
+        if both_cats - {UNCATEGORISED}:
+            all_row.both_contracts += 1
+            all_row.both_users.add(contract.maker_id)
+            all_row.both_users.add(contract.taker_id)
+        if maker_cats - {UNCATEGORISED}:
+            all_row.maker_contracts += 1
+            all_row.maker_users.add(contract.maker_id)
+        if taker_cats - {UNCATEGORISED}:
+            all_row.taker_contracts += 1
+            all_row.taker_users.add(contract.taker_id)
+
+    return ActivityTable(rows=rows, all_row=all_row, n_contracts=len(subset))
+
+
+def product_evolution(
+    dataset: MarketDataset,
+    categorizer: Optional[ActivityCategorizer] = None,
+    top_n: int = 5,
+    exclude: Sequence[str] = EVOLUTION_EXCLUDED,
+) -> Dict[str, Dict[Month, int]]:
+    """Figure 9: monthly completed-public contracts for the top products.
+
+    Currency exchange and payments are excluded (per the paper); the top
+    ``top_n`` remaining categories by total volume are tracked.
+    """
+    categorizer = categorizer or ActivityCategorizer()
+    subset = dataset.completed_public()
+
+    monthly: Dict[str, Dict[Month, int]] = {}
+    totals: Dict[str, int] = {}
+    excluded = set(exclude) | {UNCATEGORISED}
+    for contract in subset:
+        categories = categorizer.categorize_sides(
+            contract.maker_obligation, contract.taker_obligation
+        )
+        month = month_of(contract.created_at)
+        for category in categories - excluded:
+            monthly.setdefault(category, {})
+            monthly[category][month] = monthly[category].get(month, 0) + 1
+            totals[category] = totals.get(category, 0) + 1
+
+    winners = sorted(totals, key=lambda c: -totals[c])[:top_n]
+    return {category: dict(sorted(monthly[category].items())) for category in winners}

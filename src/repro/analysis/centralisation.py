@@ -1,0 +1,145 @@
+"""Market centralisation (§4.2): Figures 5 and 6.
+
+Figure 5 plots the share of contracts covered by the top percentile of
+users (by contracts they are party to) and of threads (by linked
+contracts).  Figure 6 tracks, month by month, the share of that month's
+contracts involving its *key* (top-5%) members and threads — key sets are
+recomputed each month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dataset import MarketDataset
+from ..core.entities import Contract
+from ..core.timeutils import Month, month_of
+from ..stats.descriptive import concentration_curve, gini
+from .monthly import completion_month
+
+__all__ = [
+    "ConcentrationCurves",
+    "KeySharePoint",
+    "concentration_curves",
+    "key_share_by_month",
+    "KEY_PERCENT",
+]
+
+#: The paper's definition of 'key': top 5% each month.
+KEY_PERCENT = 5.0
+
+
+def _user_involvement(contracts: Sequence[Contract]) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for contract in contracts:
+        for user in contract.parties():
+            counts[user] = counts.get(user, 0) + 1
+    return counts
+
+
+def _thread_involvement(contracts: Sequence[Contract]) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for contract in contracts:
+        if contract.thread_id is not None:
+            counts[contract.thread_id] = counts.get(contract.thread_id, 0) + 1
+    return counts
+
+
+@dataclass
+class ConcentrationCurves:
+    """Figure 5: top-percentile concentration for users and threads.
+
+    Each curve maps percentile p -> share of contracts covered by the top
+    p% of users/threads, for created and completed contract sets.
+    """
+
+    users_created: Dict[float, float]
+    users_completed: Dict[float, float]
+    threads_created: Dict[float, float]
+    threads_completed: Dict[float, float]
+    user_gini_created: float
+    thread_gini_created: float
+
+
+def concentration_curves(
+    dataset: MarketDataset,
+    percents: Sequence[float] = tuple(range(1, 101)),
+) -> ConcentrationCurves:
+    """Compute Figure 5's four concentration curves (plus Ginis)."""
+    created = dataset.contracts
+    completed = dataset.completed()
+
+    users_created = _user_involvement(created)
+    users_completed = _user_involvement(completed)
+    threads_created = _thread_involvement(created)
+    threads_completed = _thread_involvement(completed)
+
+    def curve(counts: Dict[int, int]) -> Dict[float, float]:
+        values = list(counts.values())
+        if not values:
+            return {float(p): 0.0 for p in percents}
+        return {float(p): s for p, s in concentration_curve(values, percents).items()}
+
+    return ConcentrationCurves(
+        users_created=curve(users_created),
+        users_completed=curve(users_completed),
+        threads_created=curve(threads_created),
+        threads_completed=curve(threads_completed),
+        user_gini_created=gini(list(users_created.values())) if users_created else 0.0,
+        thread_gini_created=gini(list(threads_created.values())) if threads_created else 0.0,
+    )
+
+
+@dataclass
+class KeySharePoint:
+    """One month of Figure 6: shares covered by that month's key actors."""
+
+    month: Month
+    key_members_created: float
+    key_members_completed: float
+    key_threads_created: float
+    key_threads_completed: float
+
+
+def _key_share(counts: Dict[int, int], percent: float) -> float:
+    """Share of involvement covered by the top ``percent`` % of actors."""
+    if not counts:
+        return 0.0
+    values = sorted(counts.values(), reverse=True)
+    k = max(1, int(round(len(values) * percent / 100.0)))
+    total = sum(values)
+    return sum(values[:k]) / total if total else 0.0
+
+
+def key_share_by_month(
+    dataset: MarketDataset, percent: float = KEY_PERCENT
+) -> List[KeySharePoint]:
+    """Figure 6: per-month share of contracts made by key members/threads.
+
+    Key members and key threads are recomputed for every month (both as
+    maker and taker, per the paper).
+    """
+    created_by_month: Dict[Month, List[Contract]] = {}
+    completed_by_month: Dict[Month, List[Contract]] = {}
+    for contract in dataset.contracts:
+        created_by_month.setdefault(month_of(contract.created_at), []).append(contract)
+        settled = completion_month(contract)
+        if settled is not None:
+            completed_by_month.setdefault(settled, []).append(contract)
+
+    months = sorted(set(created_by_month) | set(completed_by_month))
+    series: List[KeySharePoint] = []
+    for month in months:
+        created = created_by_month.get(month, [])
+        completed = completed_by_month.get(month, [])
+        series.append(
+            KeySharePoint(
+                month=month,
+                key_members_created=_key_share(_user_involvement(created), percent),
+                key_members_completed=_key_share(_user_involvement(completed), percent),
+                key_threads_created=_key_share(_thread_involvement(created), percent),
+                key_threads_completed=_key_share(_thread_involvement(completed), percent),
+            )
+        )
+    return series

@@ -1,0 +1,124 @@
+"""Dispute analysis.
+
+The paper tracks disputes as the market's conflict signal: dispute rates
+sit around 1% of contracts, peak at 2–3% over the last six months of
+SET-UP (Tuckman's *storming*), and halve at the start of STABLE (§5.1,
+§6).  §4.5 additionally looks at who disputes: most users are involved in
+a single dispute, with one outlier on 21.
+
+This module computes the monthly dispute-rate series, per-era rates, the
+per-user dispute distribution, and the goods involved in disputed deals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dataset import MarketDataset
+from ..core.entities import Contract, ContractStatus
+from ..core.eras import ERAS, Era
+from ..core.timeutils import Month, month_of
+from ..text.taxonomy import UNCATEGORISED, ActivityCategorizer
+
+__all__ = [
+    "DisputeSummary",
+    "dispute_rate_by_month",
+    "dispute_rate_by_era",
+    "disputes_per_user",
+    "disputed_goods",
+    "dispute_summary",
+]
+
+
+def dispute_rate_by_month(dataset: MarketDataset) -> Dict[Month, float]:
+    """Share of contracts created each month that ended disputed."""
+    totals: Dict[Month, int] = {}
+    disputed: Dict[Month, int] = {}
+    for contract in dataset.contracts:
+        month = month_of(contract.created_at)
+        totals[month] = totals.get(month, 0) + 1
+        if contract.status == ContractStatus.DISPUTED:
+            disputed[month] = disputed.get(month, 0) + 1
+    return {
+        month: disputed.get(month, 0) / totals[month] for month in sorted(totals)
+    }
+
+
+def dispute_rate_by_era(dataset: MarketDataset) -> Dict[str, float]:
+    """Dispute rate per era (created contracts)."""
+    rates: Dict[str, float] = {}
+    for era in ERAS:
+        contracts = dataset.in_era(era)
+        if not contracts:
+            rates[era.name] = 0.0
+            continue
+        count = sum(1 for c in contracts if c.status == ContractStatus.DISPUTED)
+        rates[era.name] = count / len(contracts)
+    return rates
+
+
+def disputes_per_user(dataset: MarketDataset) -> Dict[int, int]:
+    """Number of disputed contracts each user was party to (>=1 only)."""
+    counts: Dict[int, int] = {}
+    for contract in dataset.contracts:
+        if contract.status != ContractStatus.DISPUTED:
+            continue
+        for user in contract.parties():
+            counts[user] = counts.get(user, 0) + 1
+    return counts
+
+
+def disputed_goods(
+    dataset: MarketDataset,
+    categorizer: Optional[ActivityCategorizer] = None,
+) -> List[Tuple[str, int]]:
+    """Trading-activity categories of disputed contracts, most common
+    first.  Disputed contracts are always public, so their obligations are
+    observable — the paper finds most disputed deals exchange Bitcoin."""
+    categorizer = categorizer or ActivityCategorizer()
+    tally: Counter = Counter()
+    for contract in dataset.contracts:
+        if contract.status != ContractStatus.DISPUTED:
+            continue
+        categories = categorizer.categorize_sides(
+            contract.maker_obligation, contract.taker_obligation
+        )
+        tally.update(categories - {UNCATEGORISED})
+    return tally.most_common()
+
+
+@dataclass
+class DisputeSummary:
+    """Headline dispute statistics."""
+
+    total_disputes: int
+    overall_rate: float
+    rate_by_era: Dict[str, float]
+    peak_month: Optional[Month]
+    peak_rate: float
+    max_disputes_one_user: int
+    users_with_one_dispute_share: float
+
+
+def dispute_summary(dataset: MarketDataset) -> DisputeSummary:
+    """Compute the paper's headline dispute statistics in one pass."""
+    monthly = dispute_rate_by_month(dataset)
+    per_user = disputes_per_user(dataset)
+    total = sum(
+        1 for c in dataset.contracts if c.status == ContractStatus.DISPUTED
+    )
+    peak_month = max(monthly, key=lambda m: monthly[m]) if monthly else None
+    singles = sum(1 for count in per_user.values() if count == 1)
+    return DisputeSummary(
+        total_disputes=total,
+        overall_rate=total / len(dataset.contracts) if len(dataset) else 0.0,
+        rate_by_era=dispute_rate_by_era(dataset),
+        peak_month=peak_month,
+        peak_rate=monthly.get(peak_month, 0.0) if peak_month else 0.0,
+        max_disputes_one_user=max(per_user.values()) if per_user else 0,
+        users_with_one_dispute_share=(
+            singles / len(per_user) if per_user else 0.0
+        ),
+    )

@@ -1,0 +1,108 @@
+"""The contract process funnel (the paper's Appendix, Figure 14).
+
+A proposed contract either gets *denied*, *expires* after 72 hours, or is
+accepted into an active deal; an accepted deal then completes, is
+cancelled, stays incomplete, or ends disputed.  This module reconstructs
+that funnel from terminal statuses: stage-1 outcomes (accepted vs
+denied/expired) and stage-2 outcomes (conditional on acceptance), overall
+and per era — quantifying the process diagram the appendix only draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dataset import MarketDataset
+from ..core.entities import Contract, ContractStatus
+from ..core.eras import ERAS, Era
+
+__all__ = ["FunnelStage", "ContractFunnel", "contract_funnel", "funnel_by_era"]
+
+#: Statuses implying the proposal was never accepted.
+_REJECTED = (ContractStatus.DENIED, ContractStatus.EXPIRED)
+#: Terminal outcomes of an accepted deal.
+_ACCEPTED_OUTCOMES = (
+    ContractStatus.COMPLETE,
+    ContractStatus.INCOMPLETE,
+    ContractStatus.CANCELLED,
+    ContractStatus.DISPUTED,
+)
+
+
+@dataclass(frozen=True)
+class FunnelStage:
+    """One funnel transition: label, count, share of the previous stage."""
+
+    label: str
+    count: int
+    share: float
+
+
+@dataclass
+class ContractFunnel:
+    """The two-stage contract funnel for one contract population."""
+
+    total_proposed: int
+    stages: List[FunnelStage]
+
+    def stage(self, label: str) -> FunnelStage:
+        for stage in self.stages:
+            if stage.label == label:
+                return stage
+        raise KeyError(label)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.stage("accepted").share
+
+    @property
+    def completion_given_accept(self) -> float:
+        return self.stage("complete").share
+
+    def lines(self) -> List[str]:
+        out = [f"proposed: {self.total_proposed:,}"]
+        for stage in self.stages:
+            out.append(f"  {stage.label:<12s} {stage.count:>9,}  ({stage.share:.1%})")
+        return out
+
+
+def contract_funnel(
+    dataset: MarketDataset, contracts: Optional[Sequence[Contract]] = None
+) -> ContractFunnel:
+    """Build the funnel over all contracts (or a subset).
+
+    ACTIVE_DEAL contracts count as accepted with no terminal outcome yet;
+    their stage-2 shares use accepted-and-terminal as the denominator.
+    """
+    subset = list(contracts) if contracts is not None else dataset.contracts
+    total = len(subset)
+    denied = sum(1 for c in subset if c.status == ContractStatus.DENIED)
+    expired = sum(1 for c in subset if c.status == ContractStatus.EXPIRED)
+    accepted = total - denied - expired
+    live = sum(1 for c in subset if c.status == ContractStatus.ACTIVE_DEAL)
+    terminal_accepted = accepted - live
+
+    stages = [
+        FunnelStage("denied", denied, denied / total if total else 0.0),
+        FunnelStage("expired", expired, expired / total if total else 0.0),
+        FunnelStage("accepted", accepted, accepted / total if total else 0.0),
+        FunnelStage("still active", live, live / accepted if accepted else 0.0),
+    ]
+    for status in _ACCEPTED_OUTCOMES:
+        count = sum(1 for c in subset if c.status == status)
+        stages.append(
+            FunnelStage(
+                status.value.replace("_", " "),
+                count,
+                count / terminal_accepted if terminal_accepted else 0.0,
+            )
+        )
+    return ContractFunnel(total_proposed=total, stages=stages)
+
+
+def funnel_by_era(dataset: MarketDataset) -> Dict[str, ContractFunnel]:
+    """The funnel per era (by creation date)."""
+    return {
+        era.name: contract_funnel(dataset, dataset.in_era(era)) for era in ERAS
+    }

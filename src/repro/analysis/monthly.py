@@ -1,0 +1,172 @@
+"""Monthly series: growth, visibility, type mix, completion times.
+
+Implements Figures 1–4.  Completed contracts are bucketed by their
+completion month when the completion date is recorded, otherwise by
+creation month (the paper notes only ~70% of completed contracts carry a
+completion date; Figure 4 uses only those that do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dataset import MarketDataset
+from ..core.entities import Contract, ContractType
+from ..core.timeutils import Month, month_of
+
+__all__ = [
+    "GrowthPoint",
+    "monthly_growth",
+    "visibility_share",
+    "type_proportions",
+    "completion_times",
+    "completion_month",
+]
+
+
+def completion_month(contract: Contract) -> Optional[Month]:
+    """Month a completed contract settles in (creation month if undated)."""
+    if not contract.is_complete:
+        return None
+    when = contract.completed_at or contract.created_at
+    return month_of(when)
+
+
+@dataclass
+class GrowthPoint:
+    """One month of Figure 1."""
+
+    month: Month
+    contracts_created: int
+    contracts_completed: int
+    new_members_created: int    # first-ever party to a created contract
+    new_members_completed: int  # first-ever party to a completed contract
+
+
+def monthly_growth(dataset: MarketDataset) -> List[GrowthPoint]:
+    """Figure 1: monthly created/completed contracts and new members."""
+    created_counts: Dict[Month, int] = {}
+    completed_counts: Dict[Month, int] = {}
+    first_created: Dict[int, Month] = {}
+    first_completed: Dict[int, Month] = {}
+
+    for contract in dataset.contracts:
+        created_in = month_of(contract.created_at)
+        created_counts[created_in] = created_counts.get(created_in, 0) + 1
+        for user in contract.parties():
+            if user not in first_created or created_in < first_created[user]:
+                first_created[user] = created_in
+        settled = completion_month(contract)
+        if settled is not None:
+            completed_counts[settled] = completed_counts.get(settled, 0) + 1
+            for user in contract.parties():
+                if user not in first_completed or settled < first_completed[user]:
+                    first_completed[user] = settled
+
+    new_created: Dict[Month, int] = {}
+    for month in first_created.values():
+        new_created[month] = new_created.get(month, 0) + 1
+    new_completed: Dict[Month, int] = {}
+    for month in first_completed.values():
+        new_completed[month] = new_completed.get(month, 0) + 1
+
+    months = sorted(set(created_counts) | set(completed_counts))
+    return [
+        GrowthPoint(
+            month=month,
+            contracts_created=created_counts.get(month, 0),
+            contracts_completed=completed_counts.get(month, 0),
+            new_members_created=new_created.get(month, 0),
+            new_members_completed=new_completed.get(month, 0),
+        )
+        for month in months
+    ]
+
+
+def visibility_share(dataset: MarketDataset) -> Dict[Month, Dict[str, float]]:
+    """Figure 2: share of public contracts per month.
+
+    Returns ``{month: {"created": share, "completed": share}}``.
+    """
+    created_total: Dict[Month, int] = {}
+    created_public: Dict[Month, int] = {}
+    completed_total: Dict[Month, int] = {}
+    completed_public: Dict[Month, int] = {}
+    for contract in dataset.contracts:
+        month = month_of(contract.created_at)
+        created_total[month] = created_total.get(month, 0) + 1
+        if contract.is_public:
+            created_public[month] = created_public.get(month, 0) + 1
+        settled = completion_month(contract)
+        if settled is not None:
+            completed_total[settled] = completed_total.get(settled, 0) + 1
+            if contract.is_public:
+                completed_public[settled] = completed_public.get(settled, 0) + 1
+
+    result: Dict[Month, Dict[str, float]] = {}
+    for month in sorted(set(created_total) | set(completed_total)):
+        created = created_total.get(month, 0)
+        completed = completed_total.get(month, 0)
+        result[month] = {
+            "created": created_public.get(month, 0) / created if created else 0.0,
+            "completed": completed_public.get(month, 0) / completed if completed else 0.0,
+        }
+    return result
+
+
+def type_proportions(
+    dataset: MarketDataset, completed_only: bool = False
+) -> Dict[Month, Dict[ContractType, float]]:
+    """Figure 3: monthly share of each contract type.
+
+    Shares are of contracts created that month (or completed, when
+    ``completed_only``); they sum to 1 per month.
+    """
+    counts: Dict[Month, Dict[ContractType, int]] = {}
+    for contract in dataset.contracts:
+        if completed_only:
+            month = completion_month(contract)
+            if month is None:
+                continue
+        else:
+            month = month_of(contract.created_at)
+        bucket = counts.setdefault(month, {})
+        bucket[contract.ctype] = bucket.get(contract.ctype, 0) + 1
+
+    result: Dict[Month, Dict[ContractType, float]] = {}
+    for month in sorted(counts):
+        total = sum(counts[month].values())
+        result[month] = {
+            ctype: counts[month].get(ctype, 0) / total for ctype in ContractType
+        }
+    return result
+
+
+def completion_times(
+    dataset: MarketDataset,
+) -> Dict[Month, Dict[ContractType, float]]:
+    """Figure 4: average completion hours per type per (creation) month.
+
+    Only contracts with a recorded completion date contribute; months or
+    types with no such contracts are absent from the inner dict.
+    """
+    sums: Dict[Month, Dict[ContractType, float]] = {}
+    counts: Dict[Month, Dict[ContractType, int]] = {}
+    for contract in dataset.contracts:
+        hours = contract.completion_hours
+        if hours is None or not contract.is_complete:
+            continue
+        month = month_of(contract.created_at)
+        sums.setdefault(month, {}).setdefault(contract.ctype, 0.0)
+        counts.setdefault(month, {}).setdefault(contract.ctype, 0)
+        sums[month][contract.ctype] += hours
+        counts[month][contract.ctype] += 1
+
+    return {
+        month: {
+            ctype: sums[month][ctype] / counts[month][ctype]
+            for ctype in sums[month]
+        }
+        for month in sorted(sums)
+    }

@@ -1,0 +1,180 @@
+"""Reputation as trust infrastructure (§6's discussion, quantified).
+
+The paper argues the semi-public transaction record acts as a trust
+infrastructure that "particularly benefit[s] the concentration of the
+market over time around a core of power-users".  This module tracks that
+process directly on the reputation record:
+
+* cumulative reputation concentration (Gini / top-share) month by month;
+* cohort trajectories — the median reputation of users who first became
+  active in each era, followed through time (do SET-UP incumbents stay
+  ahead?);
+* the reputation premium — the mean counterparty reputation on completed
+  versus failed deals, per era.  Note this is a *diagnostic*, not a
+  causal claim: hub takers hold enormous reputation and dominate both
+  completed and failed volume, so the sign depends on the failure base
+  rates of the contract types they absorb.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.dataset import MarketDataset
+from ..core.entities import ContractStatus
+from ..core.eras import ERAS, Era, era_of
+from ..core.timeutils import Month, month_of
+from ..stats.descriptive import gini, top_share
+
+__all__ = [
+    "reputation_concentration_by_month",
+    "cohort_reputation_trajectories",
+    "ReputationPremium",
+    "reputation_premium_by_era",
+]
+
+
+def _cumulative_scores(dataset: MarketDataset) -> Dict[Month, Dict[int, int]]:
+    """Reputation per user at the end of each month (cumulative)."""
+    by_month: Dict[Month, Dict[int, int]] = {}
+    running: Dict[int, int] = defaultdict(int)
+    ratings = sorted(dataset.ratings, key=lambda r: r.created_at)
+    if not ratings:
+        return {}
+    months = sorted({month_of(r.created_at) for r in ratings})
+    index = 0
+    for month in months:
+        end = _dt.datetime.combine(month.last_day(), _dt.time.max)
+        while index < len(ratings) and ratings[index].created_at <= end:
+            running[ratings[index].ratee_id] += ratings[index].score
+            index += 1
+        by_month[month] = dict(running)
+    return by_month
+
+
+def reputation_concentration_by_month(
+    dataset: MarketDataset,
+) -> Dict[Month, Tuple[float, float]]:
+    """Per month: (Gini, top-5% share) of cumulative positive reputation.
+
+    Rising concentration is the paper's 'trust accrues to the core'
+    claim made measurable.
+    """
+    result: Dict[Month, Tuple[float, float]] = {}
+    for month, scores in _cumulative_scores(dataset).items():
+        positives = [score for score in scores.values() if score > 0]
+        if len(positives) < 10:
+            continue
+        result[month] = (gini(positives), top_share(positives, 5.0))
+    return dict(sorted(result.items()))
+
+
+def cohort_reputation_trajectories(
+    dataset: MarketDataset,
+) -> Dict[str, Dict[Month, float]]:
+    """Median cumulative reputation per first-activity cohort over time.
+
+    Users are assigned to the era in which they were first party to a
+    contract; each cohort's median reputation is then tracked monthly.
+    """
+    first_active: Dict[int, _dt.datetime] = {}
+    for contract in dataset.contracts:
+        for user in contract.parties():
+            when = contract.created_at
+            if user not in first_active or when < first_active[user]:
+                first_active[user] = when
+
+    cohorts: Dict[str, List[int]] = {era.name: [] for era in ERAS}
+    for user, when in first_active.items():
+        era = era_of(when)
+        if era is not None:
+            cohorts[era.name].append(user)
+
+    trajectories: Dict[str, Dict[Month, float]] = {era.name: {} for era in ERAS}
+    for month, scores in _cumulative_scores(dataset).items():
+        for era in ERAS:
+            members = cohorts[era.name]
+            if not members or month < month_of(era.start):
+                continue
+            values = [scores.get(user, 0) for user in members]
+            trajectories[era.name][month] = float(np.median(values))
+    return trajectories
+
+
+@dataclass(frozen=True)
+class ReputationPremium:
+    """Mean counterparty reputation on completed vs failed deals."""
+
+    era: str
+    completed_mean: float
+    failed_mean: float
+    n_completed: int
+    n_failed: int
+
+    @property
+    def premium(self) -> float:
+        """Ratio of completed-deal to failed-deal counterparty reputation."""
+        if self.failed_mean <= 0:
+            return float("inf") if self.completed_mean > 0 else 1.0
+        return self.completed_mean / self.failed_mean
+
+
+def reputation_premium_by_era(dataset: MarketDataset) -> Dict[str, ReputationPremium]:
+    """Does reputation at deal time predict completion?  Per era.
+
+    For each contract, the taker's cumulative reputation as of the
+    creation month is looked up; completed and failed
+    (incomplete/cancelled/expired) deals are then compared.
+    """
+    scores_by_month = _cumulative_scores(dataset)
+    months = sorted(scores_by_month)
+    if not months:
+        return {}
+
+    def reputation_at(user: int, month: Month) -> int:
+        # Last known cumulative score at or before the month.
+        previous = [m for m in months if m <= month]
+        if not previous:
+            return 0
+        return scores_by_month[previous[-1]].get(user, 0)
+
+    failed_statuses = {
+        ContractStatus.INCOMPLETE,
+        ContractStatus.CANCELLED,
+        ContractStatus.EXPIRED,
+    }
+    sums: Dict[Tuple[str, bool], List[float]] = defaultdict(list)
+    for contract in dataset.contracts:
+        era = era_of(contract.created_at)
+        if era is None:
+            continue
+        if contract.is_complete:
+            completed = True
+        elif contract.status in failed_statuses:
+            completed = False
+        else:
+            continue
+        month = month_of(contract.created_at).prev()
+        sums[(era.name, completed)].append(
+            float(reputation_at(contract.taker_id, month))
+        )
+
+    result: Dict[str, ReputationPremium] = {}
+    for era in ERAS:
+        completed_scores = sums.get((era.name, True), [])
+        failed_scores = sums.get((era.name, False), [])
+        if not completed_scores or not failed_scores:
+            continue
+        result[era.name] = ReputationPremium(
+            era=era.name,
+            completed_mean=float(np.mean(completed_scores)),
+            failed_mean=float(np.mean(failed_scores)),
+            n_completed=len(completed_scores),
+            n_failed=len(failed_scores),
+        )
+    return result

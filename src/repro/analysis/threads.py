@@ -1,0 +1,92 @@
+"""Thread and post analysis (§3's advertisement-thread statistics).
+
+The paper notes 68.4% of public contracts are associated with a thread
+(8.2% of all contracts), that the dataset holds ~6,000 threads and
+~200,000 posts by ~30,000 members, and (Figure 5) that thread-linked
+trade concentrates on a small set of popular threads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.dataset import MarketDataset
+from ..core.timeutils import Month, month_of
+from ..stats.descriptive import gini, top_share
+
+__all__ = [
+    "ThreadStats",
+    "thread_stats",
+    "contracts_per_thread",
+    "posts_per_thread",
+    "posting_members_by_month",
+]
+
+
+@dataclass
+class ThreadStats:
+    """Headline thread/post statistics (§3)."""
+
+    n_threads: int
+    n_posts: int
+    n_posting_members: int
+    public_contracts: int
+    public_with_thread: int
+    thread_link_share_public: float   # paper: 68.4%
+    thread_link_share_all: float      # paper: 8.2%
+    posts_per_thread_mean: float
+    top10pct_thread_contract_share: float
+    thread_contract_gini: float
+
+
+def contracts_per_thread(dataset: MarketDataset) -> Dict[int, int]:
+    """Thread id -> number of linked contracts (threads with >=1 link)."""
+    counts: Counter = Counter()
+    for contract in dataset.contracts:
+        if contract.thread_id is not None:
+            counts[contract.thread_id] += 1
+    return dict(counts)
+
+
+def posts_per_thread(dataset: MarketDataset) -> Dict[int, int]:
+    """Thread id -> number of posts."""
+    counts: Counter = Counter(post.thread_id for post in dataset.posts)
+    return dict(counts)
+
+
+def posting_members_by_month(dataset: MarketDataset) -> Dict[Month, int]:
+    """Distinct posting members per month."""
+    members: Dict[Month, set] = {}
+    for post in dataset.posts:
+        members.setdefault(month_of(post.created_at), set()).add(post.author_id)
+    return {month: len(users) for month, users in sorted(members.items())}
+
+
+def thread_stats(dataset: MarketDataset) -> ThreadStats:
+    """Compute §3's thread/post headline numbers."""
+    publics = dataset.public()
+    with_thread_public = sum(1 for c in publics if c.thread_id is not None)
+    with_thread_all = sum(1 for c in dataset.contracts if c.thread_id is not None)
+    per_thread = contracts_per_thread(dataset)
+    values = list(per_thread.values())
+    posting_members = {post.author_id for post in dataset.posts}
+    return ThreadStats(
+        n_threads=len(dataset.threads),
+        n_posts=len(dataset.posts),
+        n_posting_members=len(posting_members),
+        public_contracts=len(publics),
+        public_with_thread=with_thread_public,
+        thread_link_share_public=(
+            with_thread_public / len(publics) if publics else 0.0
+        ),
+        thread_link_share_all=(
+            with_thread_all / len(dataset.contracts) if len(dataset) else 0.0
+        ),
+        posts_per_thread_mean=(
+            len(dataset.posts) / len(dataset.threads) if dataset.threads else 0.0
+        ),
+        top10pct_thread_contract_share=top_share(values, 10.0) if values else 0.0,
+        thread_contract_gini=gini(values) if values else 0.0,
+    )

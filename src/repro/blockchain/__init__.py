@@ -1,0 +1,34 @@
+"""Simulated blockchain ledger, rate oracle and value verification."""
+
+from .chain import ChainTransaction, Ledger, make_address, make_txhash
+from .rates import (
+    CRYPTO_CURRENCIES,
+    FIAT_CURRENCIES,
+    SUPPORTED_CURRENCIES,
+    RateOracle,
+)
+from .verify import (
+    HIGH_VALUE_THRESHOLD_USD,
+    Verdict,
+    VerificationResult,
+    VerificationSummary,
+    verify_contract_value,
+    verify_high_value_contracts,
+)
+
+__all__ = [
+    "ChainTransaction",
+    "Ledger",
+    "make_address",
+    "make_txhash",
+    "CRYPTO_CURRENCIES",
+    "FIAT_CURRENCIES",
+    "SUPPORTED_CURRENCIES",
+    "RateOracle",
+    "HIGH_VALUE_THRESHOLD_USD",
+    "Verdict",
+    "VerificationResult",
+    "VerificationSummary",
+    "verify_contract_value",
+    "verify_high_value_contracts",
+]

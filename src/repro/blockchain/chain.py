@@ -1,0 +1,107 @@
+"""A minimal simulated Bitcoin ledger.
+
+§4.5 of the paper verifies high-value contracts by looking up the Bitcoin
+address / transaction hash quoted in the contract on the public blockchain
+"at the completion time".  This module provides the substrate for that
+check: an append-only in-memory ledger of transactions, addressable by
+transaction hash or receiving address, with time-windowed queries.
+
+Hashes and addresses are generated deterministically from a seed so the
+simulator and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ChainTransaction", "Ledger", "make_address", "make_txhash"]
+
+
+def make_address(seed: int) -> str:
+    """A deterministic, base58-flavoured fake Bitcoin address."""
+    digest = hashlib.sha256(f"addr:{seed}".encode()).hexdigest()
+    return "1" + digest[:33]
+
+
+def make_txhash(seed: int) -> str:
+    """A deterministic 64-hex-character fake transaction hash."""
+    return hashlib.sha256(f"tx:{seed}".encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ChainTransaction:
+    """A single on-chain payment to ``address`` of ``btc_amount`` BTC."""
+
+    txhash: str
+    address: str
+    timestamp: _dt.datetime
+    btc_amount: float
+
+    def __post_init__(self) -> None:
+        if self.btc_amount < 0:
+            raise ValueError("btc_amount must be non-negative")
+
+
+class Ledger:
+    """Append-only store of :class:`ChainTransaction` with two indexes."""
+
+    def __init__(self) -> None:
+        self._by_hash: Dict[str, ChainTransaction] = {}
+        self._by_address: Dict[str, List[ChainTransaction]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __iter__(self) -> Iterator[ChainTransaction]:
+        return iter(self._by_hash.values())
+
+    def add(self, transaction: ChainTransaction) -> None:
+        """Record a transaction; duplicate hashes are rejected."""
+        if transaction.txhash in self._by_hash:
+            raise ValueError(f"duplicate transaction hash {transaction.txhash}")
+        self._by_hash[transaction.txhash] = transaction
+        self._by_address.setdefault(transaction.address, []).append(transaction)
+
+    def record(
+        self,
+        seed: int,
+        address: str,
+        timestamp: _dt.datetime,
+        btc_amount: float,
+    ) -> ChainTransaction:
+        """Create, add and return a transaction with a derived hash."""
+        transaction = ChainTransaction(
+            txhash=make_txhash(seed),
+            address=address,
+            timestamp=timestamp,
+            btc_amount=btc_amount,
+        )
+        self.add(transaction)
+        return transaction
+
+    def lookup(self, txhash: str) -> Optional[ChainTransaction]:
+        """The transaction with ``txhash``, or None if unknown."""
+        return self._by_hash.get(txhash)
+
+    def for_address(
+        self,
+        address: str,
+        around: Optional[_dt.datetime] = None,
+        window: _dt.timedelta = _dt.timedelta(days=3),
+    ) -> List[ChainTransaction]:
+        """Transactions paying ``address``; optionally near ``around``.
+
+        When ``around`` is given, only transactions within ``window`` of it
+        are returned (this mirrors "check recorded transactions on the
+        blockchain at the completion time").
+        """
+        candidates = self._by_address.get(address, [])
+        if around is None:
+            return list(candidates)
+        return [
+            t for t in candidates
+            if abs((t.timestamp - around).total_seconds()) <= window.total_seconds()
+        ]

@@ -1,0 +1,148 @@
+"""Deterministic synthetic exchange-rate oracle.
+
+The paper converts every extracted contract value to USD "using the
+conversion rates at the time the transactions were made" (§4.5).  Real
+historical feeds cannot ship with an offline reproduction, so this module
+provides a deterministic daily rate oracle whose *shape* follows the
+2018–2020 period: Bitcoin's decline into December 2018, the mid-2019
+recovery, the March 2020 crash and partial rebound, plus roughly stable
+fiat crosses.
+
+Rates are produced by piecewise-linear interpolation between monthly
+anchors, with a small deterministic intra-month wiggle so consecutive days
+differ (exercising "rate at the time of the transaction" code paths).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["RateOracle", "SUPPORTED_CURRENCIES", "CRYPTO_CURRENCIES", "FIAT_CURRENCIES"]
+
+# Monthly anchor prices in USD.  Shapes follow the public record for the
+# study window; exact levels are unimportant to the analyses (DESIGN.md).
+_BTC_ANCHORS: List[Tuple[str, float]] = [
+    ("2018-06", 7100.0), ("2018-07", 6700.0), ("2018-08", 6900.0),
+    ("2018-09", 6500.0), ("2018-10", 6400.0), ("2018-11", 5600.0),
+    ("2018-12", 3700.0), ("2019-01", 3600.0), ("2019-02", 3700.0),
+    ("2019-03", 3900.0), ("2019-04", 5100.0), ("2019-05", 7300.0),
+    ("2019-06", 9300.0), ("2019-07", 10500.0), ("2019-08", 10300.0),
+    ("2019-09", 9700.0), ("2019-10", 8700.0), ("2019-11", 8300.0),
+    ("2019-12", 7200.0), ("2020-01", 8500.0), ("2020-02", 9600.0),
+    ("2020-03", 6400.0), ("2020-04", 7100.0), ("2020-05", 9100.0),
+    ("2020-06", 9400.0), ("2020-07", 9200.0),
+]
+
+# Flat-ish crosses for other cryptos, scaled off BTC's curve.
+_CRYPTO_SCALE: Dict[str, float] = {
+    "BTC": 1.0,
+    "ETH": 0.031,       # ~ $220 when BTC ~ $7100
+    "BCH": 0.055,
+    "LTC": 0.0105,
+    "XMR": 0.0095,
+}
+
+# Fiat: USD per unit, with tiny deterministic drift.
+_FIAT_BASE: Dict[str, float] = {
+    "USD": 1.0,
+    "GBP": 1.29,
+    "EUR": 1.13,
+    "CAD": 0.755,
+    "AUD": 0.71,
+    "INR": 0.0138,
+    "JPY": 0.0092,
+}
+
+CRYPTO_CURRENCIES = tuple(sorted(_CRYPTO_SCALE))
+FIAT_CURRENCIES = tuple(sorted(_FIAT_BASE))
+SUPPORTED_CURRENCIES = tuple(sorted(set(CRYPTO_CURRENCIES) | set(FIAT_CURRENCIES)))
+
+
+def _month_key(when: _dt.date) -> str:
+    return f"{when.year:04d}-{when.month:02d}"
+
+
+class RateOracle:
+    """Answers "how many USD was one unit of X worth on day D?".
+
+    The oracle is pure and deterministic: the same query always returns the
+    same rate, so analyses and the simulator agree on conversions.
+    """
+
+    def __init__(self) -> None:
+        self._btc_by_month: Dict[str, float] = dict(_BTC_ANCHORS)
+        self._anchor_order = [key for key, _ in _BTC_ANCHORS]
+
+    def supported(self) -> Tuple[str, ...]:
+        """All currency codes the oracle can convert."""
+        return SUPPORTED_CURRENCIES
+
+    def usd_per_unit(self, currency: str, when: _dt.date) -> float:
+        """USD value of one unit of ``currency`` on ``when``.
+
+        Raises ``KeyError`` for unknown currency codes.
+        """
+        code = currency.upper()
+        if code in _FIAT_BASE:
+            return self._fiat_rate(code, when)
+        if code in _CRYPTO_SCALE:
+            return self._btc_rate(when) * _CRYPTO_SCALE[code]
+        raise KeyError(f"unsupported currency: {currency!r}")
+
+    def to_usd(self, amount: float, currency: str, when: _dt.date) -> float:
+        """Convert ``amount`` of ``currency`` on ``when`` into USD."""
+        return amount * self.usd_per_unit(currency, when)
+
+    def from_usd(self, usd: float, currency: str, when: _dt.date) -> float:
+        """Convert ``usd`` into units of ``currency`` on ``when``."""
+        rate = self.usd_per_unit(currency, when)
+        if rate == 0.0:
+            raise ZeroDivisionError(f"zero rate for {currency}")
+        return usd / rate
+
+    # ------------------------------------------------------------------ #
+
+    def _btc_rate(self, when: _dt.date) -> float:
+        """Piecewise-linear monthly anchors + deterministic daily wiggle."""
+        key = _month_key(when)
+        if key < self._anchor_order[0]:
+            base = self._btc_by_month[self._anchor_order[0]]
+        elif key >= self._anchor_order[-1]:
+            base = self._btc_by_month[self._anchor_order[-1]]
+        else:
+            this_anchor = self._btc_by_month.get(key)
+            if this_anchor is None:
+                base = self._btc_by_month[self._anchor_order[0]]
+            else:
+                nxt_key = self._next_month_key(key)
+                nxt_anchor = self._btc_by_month.get(nxt_key, this_anchor)
+                frac = (when.day - 1) / max(1, self._days_in_month(when) - 1)
+                base = this_anchor + (nxt_anchor - this_anchor) * frac
+        # Deterministic +/-2% intra-month wiggle keyed on the ordinal day.
+        wiggle = 0.02 * math.sin(when.toordinal() * 0.9)
+        return base * (1.0 + wiggle)
+
+    def _fiat_rate(self, code: str, when: _dt.date) -> float:
+        base = _FIAT_BASE[code]
+        if code == "USD":
+            return base
+        # +/-1.5% slow drift over the window, deterministic.
+        drift = 0.015 * math.sin(when.toordinal() * 0.015 + hash(code) % 7)
+        return base * (1.0 + drift)
+
+    @staticmethod
+    def _next_month_key(key: str) -> str:
+        year, month = int(key[:4]), int(key[5:7])
+        if month == 12:
+            return f"{year + 1:04d}-01"
+        return f"{year:04d}-{month + 1:02d}"
+
+    @staticmethod
+    def _days_in_month(when: _dt.date) -> int:
+        if when.month == 12:
+            nxt = _dt.date(when.year + 1, 1, 1)
+        else:
+            nxt = _dt.date(when.year, when.month + 1, 1)
+        return (nxt - _dt.date(when.year, when.month, 1)).days

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro generate --scale 0.05 --out market/         # synthesise + save
+    python -m repro experiment table1 --scale 0.05               # one artefact
+    python -m repro experiment all --scale 0.1 --out results/    # everything
+    python -m repro summary --data market/                       # dataset overview
+    python -m repro eras --scale 0.05                            # per-era profiles
+
+``--data DIR`` loads a previously saved dataset (JSONL) instead of
+generating one; analyses that need the rate oracle rebuild the
+deterministic one, and value verification is skipped without a ledger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Optional
+
+from . import __version__
+from .blockchain.rates import RateOracle
+from .core.io import load_dataset, save_dataset
+from .report.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from .synth.marketsim import MarketSimulator, SimulationResult, generate_market
+from .synth.config import SimulationConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Turning Up the Dial' (IMC 2020)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="synthesise a market and save it")
+    _market_args(generate)
+    generate.add_argument("--out", required=True, help="output dataset directory")
+
+    experiment = commands.add_parser("experiment", help="regenerate paper artefacts")
+    experiment.add_argument("ids", nargs="+",
+                            help="experiment ids (table1..table10, fig01..fig13, "
+                                 "sec45, sec52) or 'all'")
+    _market_args(experiment)
+    experiment.add_argument("--data", help="load dataset from directory instead")
+    experiment.add_argument("--out", help="also write artefacts under this directory")
+    experiment.add_argument("--latent-k", type=int, default=12)
+
+    summary = commands.add_parser("summary", help="print a dataset overview")
+    _market_args(summary)
+    summary.add_argument("--data", help="load dataset from directory instead")
+
+    eras = commands.add_parser("eras", help="per-era profiles and the stimulus test")
+    _market_args(eras)
+    eras.add_argument("--data", help="load dataset from directory instead")
+
+    validate = commands.add_parser("validate", help="integrity-check a dataset")
+    validate.add_argument("--data", required=True, help="dataset directory (JSONL)")
+    validate.add_argument("--scale", type=float, default=0.05, help=argparse.SUPPRESS)
+    validate.add_argument("--seed", type=int, default=0, help=argparse.SUPPRESS)
+
+    export = commands.add_parser("export-csv", help="export a dataset as CSV")
+    export.add_argument("--data", help="dataset directory (JSONL); generated if omitted")
+    export.add_argument("--out", required=True, help="CSV output directory")
+    _market_args(export)
+
+    return parser
+
+
+def _market_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--scale", type=float, default=0.05,
+                     help="market scale when generating (1.0 = paper volume)")
+    sub.add_argument("--seed", type=int, default=20201027)
+    sub.add_argument("--no-posts", action="store_true",
+                     help="skip post generation (faster)")
+
+
+def _load_or_generate(args) -> SimulationResult:
+    if getattr(args, "data", None):
+        dataset = load_dataset(args.data)
+        from .blockchain.chain import Ledger
+        from .synth.marketsim import SimulationTruth
+
+        return SimulationResult(
+            dataset=dataset,
+            ledger=Ledger(),
+            rates=RateOracle(),
+            truth=SimulationTruth(),
+            config=SimulationConfig(scale=args.scale, seed=args.seed),
+        )
+    return generate_market(
+        scale=args.scale, seed=args.seed, generate_posts=not args.no_posts
+    )
+
+
+def _cmd_generate(args) -> int:
+    started = time.time()
+    result = generate_market(
+        scale=args.scale, seed=args.seed, generate_posts=not args.no_posts
+    )
+    save_dataset(result.dataset, args.out)
+    summary = result.dataset.summary()
+    print(f"generated {summary['contracts']:,} contracts "
+          f"({summary['users']:,} users) in {time.time() - started:.1f}s")
+    print(f"saved to {args.out}/")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    wanted = list(EXPERIMENTS) if "all" in args.ids else args.ids
+    unknown = [i for i in wanted if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    result = _load_or_generate(args)
+    ctx = ExperimentContext(result, latent_k=args.latent_k)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for experiment_id in wanted:
+        report = run_experiment(experiment_id, ctx)
+        print(report.text())
+        print()
+        if args.out:
+            path = os.path.join(args.out, f"{experiment_id}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.text() + "\n")
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    result = _load_or_generate(args)
+    for key, value in result.dataset.summary().items():
+        print(f"{key:<22s} {value:,}")
+    return 0
+
+
+def _cmd_eras(args) -> int:
+    from .analysis.eras_summary import era_profiles, stimulus_test
+
+    result = _load_or_generate(args)
+    print(f"{'era':<10s} {'contracts':>10s} {'/month':>8s} {'completed':>10s} "
+          f"{'public':>7s} {'members':>8s} {'new':>7s}")
+    for profile in era_profiles(result.dataset):
+        print(f"{profile.short:<10s} {profile.contracts:>10,} "
+              f"{profile.contracts_per_month:>8,.0f} "
+              f"{profile.completion_rate:>9.1%} {profile.public_share:>7.1%} "
+              f"{profile.members:>8,} {profile.new_members:>7,}")
+    outcome = stimulus_test(result.dataset)
+    print(f"\nCOVID-19 vs late STABLE: volume x{outcome.volume_ratio:.2f}, "
+          f"type-mix drift {outcome.type_drift:.3f}, "
+          f"product-mix drift {outcome.category_drift:.3f}")
+    verdict = "stimulus" if outcome.is_stimulus else (
+        "transformation" if outcome.is_transformation else "neither"
+    )
+    print(f"verdict: {verdict} (paper: stimulus, not transformation)")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .core.validate import validate_dataset
+
+    dataset = load_dataset(args.data)
+    issues = validate_dataset(dataset)
+    if not issues:
+        print(f"ok: {len(dataset.contracts):,} contracts, no issues")
+        return 0
+    for issue in issues:
+        print(issue)
+    errors = sum(1 for i in issues if i.severity == "error")
+    return 1 if errors else 0
+
+
+def _cmd_export_csv(args) -> int:
+    from .core.csv_export import export_csv
+
+    result = _load_or_generate(args)
+    paths = export_csv(result.dataset, args.out)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "experiment": _cmd_experiment,
+        "summary": _cmd_summary,
+        "eras": _cmd_eras,
+        "validate": _cmd_validate,
+        "export-csv": _cmd_export_csv,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

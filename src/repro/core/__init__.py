@@ -1,0 +1,70 @@
+"""Core entity model, era calendar and dataset container."""
+
+from .entities import (
+    BIDIRECTIONAL_TYPES,
+    ECONOMIC_TYPES,
+    TERMINAL_STATUSES,
+    Contract,
+    ContractStatus,
+    ContractType,
+    Post,
+    Rating,
+    Thread,
+    User,
+    Visibility,
+)
+from .eras import (
+    COVID19,
+    DATA_END,
+    DATA_START,
+    ERAS,
+    SETUP,
+    STABLE,
+    Era,
+    all_months,
+    era_by_name,
+    era_of,
+)
+from .dataset import MarketDataset, UserActivity
+from .csv_export import CSV_FILES, export_csv
+from .io import load_dataset, save_dataset
+from .validate import ValidationIssue, assert_valid, validate_dataset
+from .timeutils import Month, add_months, month_of, month_range, months_between
+
+__all__ = [
+    "BIDIRECTIONAL_TYPES",
+    "ECONOMIC_TYPES",
+    "TERMINAL_STATUSES",
+    "Contract",
+    "ContractStatus",
+    "ContractType",
+    "Post",
+    "Rating",
+    "Thread",
+    "User",
+    "Visibility",
+    "COVID19",
+    "DATA_END",
+    "DATA_START",
+    "ERAS",
+    "SETUP",
+    "STABLE",
+    "Era",
+    "all_months",
+    "era_by_name",
+    "era_of",
+    "MarketDataset",
+    "UserActivity",
+    "load_dataset",
+    "save_dataset",
+    "CSV_FILES",
+    "export_csv",
+    "ValidationIssue",
+    "assert_valid",
+    "validate_dataset",
+    "Month",
+    "add_months",
+    "month_of",
+    "month_range",
+    "months_between",
+]

@@ -1,0 +1,101 @@
+"""CSV export for interoperability with R / pandas / spreadsheets.
+
+The JSONL format (:mod:`repro.core.io`) is the canonical round-trip
+store; CSV export is one-way, for feeding the dataset into the R
+ecosystem the paper's original analyses used (poLCA, pscl's ``zeroinfl``)
+or into pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+import os
+from typing import Iterable, List, Optional
+
+from .dataset import MarketDataset
+
+__all__ = ["export_csv", "CSV_FILES"]
+
+CSV_FILES = (
+    "users.csv",
+    "contracts.csv",
+    "threads.csv",
+    "posts.csv",
+    "ratings.csv",
+)
+
+
+def _iso(when: Optional[_dt.datetime]) -> str:
+    return when.isoformat() if when is not None else ""
+
+
+def export_csv(dataset: MarketDataset, directory: str) -> List[str]:
+    """Write the dataset as five CSV files; returns the paths written."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    def write(name: str, header: Iterable[str], rows: Iterable[Iterable]) -> None:
+        path = os.path.join(directory, name)
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(list(header))
+            writer.writerows(rows)
+        written.append(path)
+
+    write(
+        "users.csv",
+        ["user_id", "joined_forum_at", "first_post_at"],
+        (
+            [u.user_id, _iso(u.joined_forum_at), _iso(u.first_post_at)]
+            for u in dataset.users
+        ),
+    )
+    write(
+        "contracts.csv",
+        [
+            "contract_id", "type", "status", "visibility", "maker_id",
+            "taker_id", "created_at", "completed_at", "maker_obligation",
+            "taker_obligation", "terms", "maker_rating", "taker_rating",
+            "thread_id", "btc_address", "btc_txhash",
+        ],
+        (
+            [
+                c.contract_id, c.ctype.value, c.status.value, c.visibility.value,
+                c.maker_id, c.taker_id, _iso(c.created_at), _iso(c.completed_at),
+                c.maker_obligation, c.taker_obligation, c.terms,
+                c.maker_rating if c.maker_rating is not None else "",
+                c.taker_rating if c.taker_rating is not None else "",
+                c.thread_id if c.thread_id is not None else "",
+                c.btc_address or "", c.btc_txhash or "",
+            ]
+            for c in dataset.contracts
+        ),
+    )
+    write(
+        "threads.csv",
+        ["thread_id", "author_id", "created_at", "title", "is_marketplace"],
+        (
+            [t.thread_id, t.author_id, _iso(t.created_at), t.title,
+             int(t.is_marketplace)]
+            for t in dataset.threads
+        ),
+    )
+    write(
+        "posts.csv",
+        ["post_id", "thread_id", "author_id", "created_at", "is_marketplace"],
+        (
+            [p.post_id, p.thread_id, p.author_id, _iso(p.created_at),
+             int(p.is_marketplace)]
+            for p in dataset.posts
+        ),
+    )
+    write(
+        "ratings.csv",
+        ["contract_id", "rater_id", "ratee_id", "score", "created_at"],
+        (
+            [r.contract_id, r.rater_id, r.ratee_id, r.score, _iso(r.created_at)]
+            for r in dataset.ratings
+        ),
+    )
+    return written

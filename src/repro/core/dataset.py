@@ -1,0 +1,346 @@
+"""The :class:`MarketDataset` container — the library's central data hub.
+
+Every analysis in this library is a pure function of a ``MarketDataset``.
+The container holds the five entity collections (users, contracts, threads,
+posts, ratings) and maintains lazy indexes for the access patterns the
+paper's analyses need: lookups by id, per-maker/taker contract lists,
+per-month buckets, and per-user activity summaries (the "cold start
+variables" of §5.2).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from .entities import (
+    Contract,
+    ContractStatus,
+    ContractType,
+    Post,
+    Rating,
+    Thread,
+    User,
+    Visibility,
+)
+from .eras import Era, era_of
+from .timeutils import Month, month_of
+
+__all__ = ["MarketDataset", "UserActivity"]
+
+
+@dataclass
+class UserActivity:
+    """Aggregated per-user activity over a span of the dataset.
+
+    These are the paper's *cold start variables* (§5.2): ratings received,
+    disputes, marketplace post count, contracts initiated/accepted and
+    completed, plus participation dates used to compute the ``length``
+    covariate.
+    """
+
+    user_id: int
+    positive_ratings: int = 0
+    negative_ratings: int = 0
+    disputes: int = 0
+    marketplace_posts: int = 0
+    total_posts: int = 0
+    initiated: int = 0
+    accepted: int = 0
+    completed: int = 0
+    first_contract_at: Optional[_dt.datetime] = None
+    first_post_at: Optional[_dt.datetime] = None
+    last_active_at: Optional[_dt.datetime] = None
+
+    @property
+    def reputation(self) -> int:
+        """Net reputation score: positive minus negative ratings."""
+        return self.positive_ratings - self.negative_ratings
+
+    def length_days(self, as_of: _dt.datetime) -> float:
+        """Days since first activity (post or contract) up to ``as_of``."""
+        candidates = [t for t in (self.first_post_at, self.first_contract_at) if t]
+        if not candidates:
+            return 0.0
+        return max(0.0, (as_of - min(candidates)).total_seconds() / 86400.0)
+
+    def lifespan_days(self) -> float:
+        """Days between first and last observed activity."""
+        candidates = [t for t in (self.first_post_at, self.first_contract_at) if t]
+        if not candidates or self.last_active_at is None:
+            return 0.0
+        return max(0.0, (self.last_active_at - min(candidates)).total_seconds() / 86400.0)
+
+
+class MarketDataset:
+    """An immutable-by-convention collection of marketplace entities.
+
+    Parameters
+    ----------
+    users, contracts, threads, posts, ratings:
+        Entity sequences.  The constructor copies them into lists and sorts
+        contracts and posts chronologically, so analyses can rely on
+        creation order.
+    """
+
+    def __init__(
+        self,
+        users: Sequence[User] = (),
+        contracts: Sequence[Contract] = (),
+        threads: Sequence[Thread] = (),
+        posts: Sequence[Post] = (),
+        ratings: Sequence[Rating] = (),
+    ) -> None:
+        self.users: List[User] = list(users)
+        self.contracts: List[Contract] = sorted(contracts, key=lambda c: (c.created_at, c.contract_id))
+        self.threads: List[Thread] = list(threads)
+        self.posts: List[Post] = sorted(posts, key=lambda p: (p.created_at, p.post_id))
+        self.ratings: List[Rating] = list(ratings)
+
+        self._users_by_id: Optional[Dict[int, User]] = None
+        self._threads_by_id: Optional[Dict[int, Thread]] = None
+        self._contracts_by_id: Optional[Dict[int, Contract]] = None
+        self._by_maker: Optional[Dict[int, List[Contract]]] = None
+        self._by_taker: Optional[Dict[int, List[Contract]]] = None
+        self._by_created_month: Optional[Dict[Month, List[Contract]]] = None
+        self._by_completed_month: Optional[Dict[Month, List[Contract]]] = None
+
+    # ------------------------------------------------------------------ #
+    # basic lookups
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.contracts)
+
+    def __iter__(self) -> Iterator[Contract]:
+        return iter(self.contracts)
+
+    def user(self, user_id: int) -> User:
+        """Return the user with ``user_id`` (KeyError if absent)."""
+        if self._users_by_id is None:
+            self._users_by_id = {u.user_id: u for u in self.users}
+        return self._users_by_id[user_id]
+
+    def has_user(self, user_id: int) -> bool:
+        if self._users_by_id is None:
+            self._users_by_id = {u.user_id: u for u in self.users}
+        return user_id in self._users_by_id
+
+    def thread(self, thread_id: int) -> Thread:
+        """Return the thread with ``thread_id`` (KeyError if absent)."""
+        if self._threads_by_id is None:
+            self._threads_by_id = {t.thread_id: t for t in self.threads}
+        return self._threads_by_id[thread_id]
+
+    def contract(self, contract_id: int) -> Contract:
+        """Return the contract with ``contract_id`` (KeyError if absent)."""
+        if self._contracts_by_id is None:
+            self._contracts_by_id = {c.contract_id: c for c in self.contracts}
+        return self._contracts_by_id[contract_id]
+
+    # ------------------------------------------------------------------ #
+    # contract filters
+    # ------------------------------------------------------------------ #
+
+    def filter(self, predicate: Callable[[Contract], bool]) -> List[Contract]:
+        """All contracts satisfying ``predicate``, in creation order."""
+        return [c for c in self.contracts if predicate(c)]
+
+    def completed(self) -> List[Contract]:
+        """Contracts whose status is COMPLETE."""
+        return self.filter(lambda c: c.is_complete)
+
+    def public(self) -> List[Contract]:
+        """Contracts with PUBLIC visibility."""
+        return self.filter(lambda c: c.is_public)
+
+    def completed_public(self) -> List[Contract]:
+        """The subset most analyses use: completed *and* public."""
+        return self.filter(lambda c: c.is_complete and c.is_public)
+
+    def of_type(self, ctype: ContractType) -> List[Contract]:
+        return self.filter(lambda c: c.ctype == ctype)
+
+    def economic(self) -> List[Contract]:
+        """All contracts except VOUCH_COPY (reputation proofs)."""
+        return self.filter(lambda c: c.is_economic)
+
+    def in_era(self, era: Era, by_completion: bool = False) -> List[Contract]:
+        """Contracts created (or completed) within ``era``."""
+        if by_completion:
+            return self.filter(
+                lambda c: c.completed_at is not None and era.contains(c.completed_at)
+            )
+        return self.filter(lambda c: era.contains(c.created_at))
+
+    def in_month(self, month: Month, by_completion: bool = False) -> List[Contract]:
+        """Contracts created (or completed) within calendar ``month``."""
+        index = (
+            self.contracts_by_completed_month()
+            if by_completion
+            else self.contracts_by_created_month()
+        )
+        return list(index.get(month, ()))
+
+    # ------------------------------------------------------------------ #
+    # indexes
+    # ------------------------------------------------------------------ #
+
+    def contracts_by_maker(self) -> Dict[int, List[Contract]]:
+        """Map maker user id -> contracts they initiated."""
+        if self._by_maker is None:
+            index: Dict[int, List[Contract]] = defaultdict(list)
+            for contract in self.contracts:
+                index[contract.maker_id].append(contract)
+            self._by_maker = dict(index)
+        return self._by_maker
+
+    def contracts_by_taker(self) -> Dict[int, List[Contract]]:
+        """Map taker user id -> contracts they were named in."""
+        if self._by_taker is None:
+            index: Dict[int, List[Contract]] = defaultdict(list)
+            for contract in self.contracts:
+                index[contract.taker_id].append(contract)
+            self._by_taker = dict(index)
+        return self._by_taker
+
+    def contracts_by_created_month(self) -> Dict[Month, List[Contract]]:
+        """Map calendar month -> contracts created that month."""
+        if self._by_created_month is None:
+            index: Dict[Month, List[Contract]] = defaultdict(list)
+            for contract in self.contracts:
+                index[month_of(contract.created_at)].append(contract)
+            self._by_created_month = dict(index)
+        return self._by_created_month
+
+    def contracts_by_completed_month(self) -> Dict[Month, List[Contract]]:
+        """Map calendar month -> contracts completed that month."""
+        if self._by_completed_month is None:
+            index: Dict[Month, List[Contract]] = defaultdict(list)
+            for contract in self.contracts:
+                if contract.is_complete and contract.completed_at is not None:
+                    index[month_of(contract.completed_at)].append(contract)
+            self._by_completed_month = dict(index)
+        return self._by_completed_month
+
+    def participant_ids(self) -> Set[int]:
+        """Ids of every user who is party to at least one contract."""
+        ids: Set[int] = set()
+        for contract in self.contracts:
+            ids.add(contract.maker_id)
+            ids.add(contract.taker_id)
+        return ids
+
+    # ------------------------------------------------------------------ #
+    # per-user activity (cold start variables)
+    # ------------------------------------------------------------------ #
+
+    def user_activity(
+        self,
+        start: Optional[_dt.datetime] = None,
+        end: Optional[_dt.datetime] = None,
+    ) -> Dict[int, UserActivity]:
+        """Compute per-user activity summaries over ``[start, end]``.
+
+        Both bounds are inclusive and optional; omitted bounds span the
+        whole dataset.  Only users who are party to at least one contract
+        in the window (or who posted in it) appear in the result.
+        """
+
+        def in_window(when: Optional[_dt.datetime]) -> bool:
+            if when is None:
+                return False
+            if start is not None and when < start:
+                return False
+            if end is not None and when > end:
+                return False
+            return True
+
+        activity: Dict[int, UserActivity] = {}
+
+        def get(user_id: int) -> UserActivity:
+            record = activity.get(user_id)
+            if record is None:
+                record = UserActivity(user_id=user_id)
+                activity[user_id] = record
+            return record
+
+        for contract in self.contracts:
+            if not in_window(contract.created_at):
+                continue
+            maker = get(contract.maker_id)
+            taker = get(contract.taker_id)
+            maker.initiated += 1
+            taker.accepted += 1
+            for record in (maker, taker):
+                if record.first_contract_at is None or contract.created_at < record.first_contract_at:
+                    record.first_contract_at = contract.created_at
+                if record.last_active_at is None or contract.created_at > record.last_active_at:
+                    record.last_active_at = contract.created_at
+            if contract.is_complete:
+                maker.completed += 1
+                taker.completed += 1
+            if contract.status == ContractStatus.DISPUTED:
+                maker.disputes += 1
+                taker.disputes += 1
+
+        for rating in self.ratings:
+            if not in_window(rating.created_at):
+                continue
+            record = get(rating.ratee_id)
+            if rating.score > 0:
+                record.positive_ratings += 1
+            else:
+                record.negative_ratings += 1
+
+        for post in self.posts:
+            if not in_window(post.created_at):
+                continue
+            record = get(post.author_id)
+            record.total_posts += 1
+            if post.is_marketplace:
+                record.marketplace_posts += 1
+            if record.first_post_at is None or post.created_at < record.first_post_at:
+                record.first_post_at = post.created_at
+            if record.last_active_at is None or post.created_at > record.last_active_at:
+                record.last_active_at = post.created_at
+
+        return activity
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> Dict[str, int]:
+        """Headline counts, handy for logging and quick sanity checks."""
+        return {
+            "users": len(self.users),
+            "contracts": len(self.contracts),
+            "completed_contracts": sum(1 for c in self.contracts if c.is_complete),
+            "public_contracts": sum(1 for c in self.contracts if c.is_public),
+            "threads": len(self.threads),
+            "posts": len(self.posts),
+            "ratings": len(self.ratings),
+            "participants": len(self.participant_ids()),
+        }
+
+    def subset(self, contracts: Iterable[Contract]) -> "MarketDataset":
+        """A new dataset sharing users/threads/posts but restricted contracts.
+
+        Ratings are filtered to those attached to the kept contracts.
+        """
+        kept = list(contracts)
+        kept_ids = {c.contract_id for c in kept}
+        return MarketDataset(
+            users=self.users,
+            contracts=kept,
+            threads=self.threads,
+            posts=self.posts,
+            ratings=[r for r in self.ratings if r.contract_id in kept_ids],
+        )
+
+    def era_of_contract(self, contract: Contract) -> Optional[Era]:
+        """The era a contract was created in (None if out of window)."""
+        return era_of(contract.created_at)

@@ -1,0 +1,226 @@
+"""Entity model for the HACK FORUMS contract marketplace.
+
+The paper's dataset (part of CrimeBB) contains five entity kinds: forum
+*users*, marketplace *contracts* between a maker and a taker, advertising
+*threads*, discussion *posts*, and the *ratings* users leave on completed
+contracts.  This module defines those entities plus the enumerations used
+throughout the library.
+
+Contracts follow the process in the paper's Figure 14: the maker proposes a
+contract naming the counterparty; the counterparty may deny it, let it
+expire (after 72 hours), or accept it (becoming the taker), after which the
+deal either completes, is cancelled, stays incomplete, or ends up disputed.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "ContractType",
+    "ContractStatus",
+    "Visibility",
+    "User",
+    "Contract",
+    "Thread",
+    "Post",
+    "Rating",
+    "TERMINAL_STATUSES",
+    "BIDIRECTIONAL_TYPES",
+    "ECONOMIC_TYPES",
+]
+
+
+class ContractType(enum.Enum):
+    """The five contract types observed on the marketplace.
+
+    SALE, PURCHASE and VOUCH_COPY are one-way; EXCHANGE and TRADE are
+    bi-directional.  VOUCH_COPY (introduced February 2020) is a proof of
+    reputation rather than an economic trade and is excluded from the
+    economic analyses.
+    """
+
+    SALE = "sale"
+    PURCHASE = "purchase"
+    EXCHANGE = "exchange"
+    TRADE = "trade"
+    VOUCH_COPY = "vouch_copy"
+
+    @property
+    def bidirectional(self) -> bool:
+        """True for EXCHANGE and TRADE, where both parties give goods."""
+        return self in BIDIRECTIONAL_TYPES
+
+
+class ContractStatus(enum.Enum):
+    """Terminal (and one live) contract statuses from the paper's Table 1."""
+
+    COMPLETE = "complete"
+    ACTIVE_DEAL = "active_deal"
+    DISPUTED = "disputed"
+    INCOMPLETE = "incomplete"
+    CANCELLED = "cancelled"
+    DENIED = "denied"
+    EXPIRED = "expired"
+
+
+class Visibility(enum.Enum):
+    """Whether a contract's details are visible to (upgraded) forum users.
+
+    Private contracts reveal only maker, taker, type, created date and
+    expiry date.  Disputed contracts become public regardless of their
+    previous visibility.
+    """
+
+    PUBLIC = "public"
+    PRIVATE = "private"
+
+
+#: Statuses in which a contract can no longer change.
+TERMINAL_STATUSES = frozenset(
+    {
+        ContractStatus.COMPLETE,
+        ContractStatus.DISPUTED,
+        ContractStatus.INCOMPLETE,
+        ContractStatus.CANCELLED,
+        ContractStatus.DENIED,
+        ContractStatus.EXPIRED,
+    }
+)
+
+#: Types where goods flow both ways (both sides create in/outbound links).
+BIDIRECTIONAL_TYPES = frozenset({ContractType.EXCHANGE, ContractType.TRADE})
+
+#: Types included in the economic analyses (VOUCH_COPY excluded).
+ECONOMIC_TYPES = (
+    ContractType.SALE,
+    ContractType.PURCHASE,
+    ContractType.EXCHANGE,
+    ContractType.TRADE,
+)
+
+
+@dataclass
+class User:
+    """A forum member who can be party to contracts.
+
+    ``latent_class`` is the simulator's *ground truth* behavioural class
+    (one of the letters A..L from the paper's Table 6).  Analyses must not
+    read it — it exists so tests can validate that the latent-class
+    estimators recover the truth.
+    """
+
+    user_id: int
+    joined_forum_at: _dt.datetime
+    first_post_at: Optional[_dt.datetime] = None
+    latent_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0:
+            raise ValueError("user_id must be non-negative")
+
+
+@dataclass
+class Contract:
+    """A single marketplace contract between a maker and a taker.
+
+    Obligation, terms and rating fields are only populated for *public*
+    contracts (or disputed ones, which are forced public), mirroring the
+    data actually observable on the forum.
+    """
+
+    contract_id: int
+    ctype: ContractType
+    status: ContractStatus
+    visibility: Visibility
+    maker_id: int
+    taker_id: int
+    created_at: _dt.datetime
+    completed_at: Optional[_dt.datetime] = None
+    maker_obligation: str = ""
+    taker_obligation: str = ""
+    terms: str = ""
+    maker_rating: Optional[int] = None
+    taker_rating: Optional[int] = None
+    thread_id: Optional[int] = None
+    btc_address: Optional[str] = None
+    btc_txhash: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.maker_id == self.taker_id:
+            raise ValueError("maker and taker must differ")
+        if self.completed_at is not None and self.completed_at < self.created_at:
+            raise ValueError("completed_at precedes created_at")
+        if self.status == ContractStatus.DISPUTED and self.visibility is not Visibility.PUBLIC:
+            raise ValueError("disputed contracts are always public")
+
+    @property
+    def is_complete(self) -> bool:
+        """True when the deal was marked complete by both parties."""
+        return self.status == ContractStatus.COMPLETE
+
+    @property
+    def is_public(self) -> bool:
+        return self.visibility == Visibility.PUBLIC
+
+    @property
+    def is_economic(self) -> bool:
+        """True for every type except VOUCH_COPY (a reputation proof)."""
+        return self.ctype != ContractType.VOUCH_COPY
+
+    @property
+    def completion_hours(self) -> Optional[float]:
+        """Hours between creation and completion, if a completion date exists."""
+        if self.completed_at is None:
+            return None
+        return (self.completed_at - self.created_at).total_seconds() / 3600.0
+
+    def parties(self) -> tuple:
+        """Return ``(maker_id, taker_id)``."""
+        return (self.maker_id, self.taker_id)
+
+
+@dataclass
+class Thread:
+    """An advertising (or general discussion) thread linked to contracts."""
+
+    thread_id: int
+    author_id: int
+    created_at: _dt.datetime
+    title: str = ""
+    is_marketplace: bool = True
+
+
+@dataclass
+class Post:
+    """A post within a thread."""
+
+    post_id: int
+    thread_id: int
+    author_id: int
+    created_at: _dt.datetime
+    is_marketplace: bool = True
+
+
+@dataclass
+class Rating:
+    """A B-rating left by one contract party on the other.
+
+    ``score`` is +1 (positive) or -1 (negative); ``rater_id`` rated
+    ``ratee_id`` on the contract identified by ``contract_id``.
+    """
+
+    contract_id: int
+    rater_id: int
+    ratee_id: int
+    score: int
+    created_at: _dt.datetime = field(
+        default_factory=lambda: _dt.datetime(1970, 1, 1)
+    )
+
+    def __post_init__(self) -> None:
+        if self.score not in (-1, 1):
+            raise ValueError("score must be +1 or -1")

@@ -1,0 +1,109 @@
+"""The three analysis eras: SET-UP, STABLE and COVID-19.
+
+The paper splits June 2018 – June 2020 into three eras defined by external
+events (deductively, not from the data):
+
+* **SET-UP** — 1 June 2018 (contract system introduced) to 28 February 2019
+  (the day before contracts became mandatory).  Tuckman's *forming* and
+  *storming* stages.
+* **STABLE** — 1 March 2019 (contracts mandatory) to 10 March 2020.
+  Tuckman's *norming* stage.
+* **COVID-19** — 11 March 2020 (WHO declares the pandemic) to 30 June 2020
+  (end of data collection).  Tuckman's *performing* stage.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from .timeutils import Month, month_of, month_range
+
+__all__ = [
+    "Era",
+    "SETUP",
+    "STABLE",
+    "COVID19",
+    "ERAS",
+    "DATA_START",
+    "DATA_END",
+    "era_of",
+    "era_by_name",
+    "all_months",
+]
+
+DateLike = Union[_dt.date, _dt.datetime]
+
+
+@dataclass(frozen=True)
+class Era:
+    """A named, inclusive date span of the marketplace's evolution."""
+
+    name: str
+    short: str
+    start: _dt.date
+    end: _dt.date
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("era end precedes start")
+
+    def contains(self, when: DateLike) -> bool:
+        """True if ``when`` falls inside this era (inclusive of both ends)."""
+        day = when.date() if isinstance(when, _dt.datetime) else when
+        return self.start <= day <= self.end
+
+    def months(self) -> List[Month]:
+        """All calendar months touched by this era, in order.
+
+        March 2019 and March 2020 each straddle an era boundary; a month is
+        listed under every era it touches, matching how the paper plots
+        monthly series with era separators.
+        """
+        return month_range(month_of(self.start), month_of(self.end))
+
+    @property
+    def days(self) -> int:
+        return (self.end - self.start).days + 1
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.start}..{self.end})"
+
+
+#: First and last day of the data-collection window.
+DATA_START = _dt.date(2018, 6, 1)
+DATA_END = _dt.date(2020, 6, 30)
+
+SETUP = Era("SET-UP", "E1", _dt.date(2018, 6, 1), _dt.date(2019, 2, 28))
+STABLE = Era("STABLE", "E2", _dt.date(2019, 3, 1), _dt.date(2020, 3, 10))
+COVID19 = Era("COVID-19", "E3", _dt.date(2020, 3, 11), _dt.date(2020, 6, 30))
+
+#: The three eras in chronological order.
+ERAS = (SETUP, STABLE, COVID19)
+
+
+def era_of(when: DateLike) -> Optional[Era]:
+    """Return the era containing ``when``, or None if outside the window."""
+    for era in ERAS:
+        if era.contains(when):
+            return era
+    return None
+
+
+def era_by_name(name: str) -> Era:
+    """Look up an era by full name (``"STABLE"``) or short code (``"E2"``).
+
+    Matching is case-insensitive and tolerates the hyphen/space variants
+    used in the paper ("SET-UP", "Covid-19").
+    """
+    key = name.strip().upper().replace(" ", "-")
+    for era in ERAS:
+        if key in (era.name.upper(), era.short.upper(), era.name.upper().replace("-", "")):
+            return era
+    raise KeyError(f"unknown era: {name!r}")
+
+
+def all_months() -> List[Month]:
+    """The full monthly grid of the study window (June 2018 – June 2020)."""
+    return month_range(month_of(DATA_START), month_of(DATA_END))

@@ -1,0 +1,212 @@
+"""JSONL persistence for :class:`~repro.core.dataset.MarketDataset`.
+
+A dataset is stored as a directory of newline-delimited JSON files, one per
+entity kind (``users.jsonl``, ``contracts.jsonl``, ``threads.jsonl``,
+``posts.jsonl``, ``ratings.jsonl``), mirroring how CrimeBB extracts are
+shared as flat files.  Timestamps are ISO-8601 strings; enums are stored by
+value.  Round-tripping is exact.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from .dataset import MarketDataset
+from .entities import (
+    Contract,
+    ContractStatus,
+    ContractType,
+    Post,
+    Rating,
+    Thread,
+    User,
+    Visibility,
+)
+
+__all__ = ["save_dataset", "load_dataset", "DATASET_FILES"]
+
+DATASET_FILES = (
+    "users.jsonl",
+    "contracts.jsonl",
+    "threads.jsonl",
+    "posts.jsonl",
+    "ratings.jsonl",
+)
+
+
+def _dump_dt(when: Optional[_dt.datetime]) -> Optional[str]:
+    return when.isoformat() if when is not None else None
+
+
+def _load_dt(text: Optional[str]) -> Optional[_dt.datetime]:
+    return _dt.datetime.fromisoformat(text) if text else None
+
+
+def _user_to_row(user: User) -> Dict[str, Any]:
+    return {
+        "user_id": user.user_id,
+        "joined_forum_at": _dump_dt(user.joined_forum_at),
+        "first_post_at": _dump_dt(user.first_post_at),
+        "latent_class": user.latent_class,
+    }
+
+
+def _user_from_row(row: Dict[str, Any]) -> User:
+    return User(
+        user_id=row["user_id"],
+        joined_forum_at=_load_dt(row["joined_forum_at"]),
+        first_post_at=_load_dt(row.get("first_post_at")),
+        latent_class=row.get("latent_class"),
+    )
+
+
+def _contract_to_row(contract: Contract) -> Dict[str, Any]:
+    return {
+        "contract_id": contract.contract_id,
+        "ctype": contract.ctype.value,
+        "status": contract.status.value,
+        "visibility": contract.visibility.value,
+        "maker_id": contract.maker_id,
+        "taker_id": contract.taker_id,
+        "created_at": _dump_dt(contract.created_at),
+        "completed_at": _dump_dt(contract.completed_at),
+        "maker_obligation": contract.maker_obligation,
+        "taker_obligation": contract.taker_obligation,
+        "terms": contract.terms,
+        "maker_rating": contract.maker_rating,
+        "taker_rating": contract.taker_rating,
+        "thread_id": contract.thread_id,
+        "btc_address": contract.btc_address,
+        "btc_txhash": contract.btc_txhash,
+    }
+
+
+def _contract_from_row(row: Dict[str, Any]) -> Contract:
+    return Contract(
+        contract_id=row["contract_id"],
+        ctype=ContractType(row["ctype"]),
+        status=ContractStatus(row["status"]),
+        visibility=Visibility(row["visibility"]),
+        maker_id=row["maker_id"],
+        taker_id=row["taker_id"],
+        created_at=_load_dt(row["created_at"]),
+        completed_at=_load_dt(row.get("completed_at")),
+        maker_obligation=row.get("maker_obligation", ""),
+        taker_obligation=row.get("taker_obligation", ""),
+        terms=row.get("terms", ""),
+        maker_rating=row.get("maker_rating"),
+        taker_rating=row.get("taker_rating"),
+        thread_id=row.get("thread_id"),
+        btc_address=row.get("btc_address"),
+        btc_txhash=row.get("btc_txhash"),
+    )
+
+
+def _thread_to_row(thread: Thread) -> Dict[str, Any]:
+    return {
+        "thread_id": thread.thread_id,
+        "author_id": thread.author_id,
+        "created_at": _dump_dt(thread.created_at),
+        "title": thread.title,
+        "is_marketplace": thread.is_marketplace,
+    }
+
+
+def _thread_from_row(row: Dict[str, Any]) -> Thread:
+    return Thread(
+        thread_id=row["thread_id"],
+        author_id=row["author_id"],
+        created_at=_load_dt(row["created_at"]),
+        title=row.get("title", ""),
+        is_marketplace=row.get("is_marketplace", True),
+    )
+
+
+def _post_to_row(post: Post) -> Dict[str, Any]:
+    return {
+        "post_id": post.post_id,
+        "thread_id": post.thread_id,
+        "author_id": post.author_id,
+        "created_at": _dump_dt(post.created_at),
+        "is_marketplace": post.is_marketplace,
+    }
+
+
+def _post_from_row(row: Dict[str, Any]) -> Post:
+    return Post(
+        post_id=row["post_id"],
+        thread_id=row["thread_id"],
+        author_id=row["author_id"],
+        created_at=_load_dt(row["created_at"]),
+        is_marketplace=row.get("is_marketplace", True),
+    )
+
+
+def _rating_to_row(rating: Rating) -> Dict[str, Any]:
+    return {
+        "contract_id": rating.contract_id,
+        "rater_id": rating.rater_id,
+        "ratee_id": rating.ratee_id,
+        "score": rating.score,
+        "created_at": _dump_dt(rating.created_at),
+    }
+
+
+def _rating_from_row(row: Dict[str, Any]) -> Rating:
+    return Rating(
+        contract_id=row["contract_id"],
+        rater_id=row["rater_id"],
+        ratee_id=row["ratee_id"],
+        score=row["score"],
+        created_at=_load_dt(row["created_at"]),
+    )
+
+
+def _write_jsonl(path: str, rows: Iterable[Dict[str, Any]]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+
+
+def _read_jsonl(path: str) -> Iterator[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def save_dataset(dataset: MarketDataset, directory: str) -> None:
+    """Write ``dataset`` as five JSONL files under ``directory``.
+
+    The directory is created if missing; existing files are overwritten.
+    """
+    os.makedirs(directory, exist_ok=True)
+    _write_jsonl(os.path.join(directory, "users.jsonl"), map(_user_to_row, dataset.users))
+    _write_jsonl(os.path.join(directory, "contracts.jsonl"), map(_contract_to_row, dataset.contracts))
+    _write_jsonl(os.path.join(directory, "threads.jsonl"), map(_thread_to_row, dataset.threads))
+    _write_jsonl(os.path.join(directory, "posts.jsonl"), map(_post_to_row, dataset.posts))
+    _write_jsonl(os.path.join(directory, "ratings.jsonl"), map(_rating_to_row, dataset.ratings))
+
+
+def load_dataset(directory: str) -> MarketDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    def path(name: str) -> str:
+        return os.path.join(directory, name)
+
+    missing = [name for name in DATASET_FILES if not os.path.exists(path(name))]
+    if missing:
+        raise FileNotFoundError(
+            f"dataset directory {directory!r} is missing files: {', '.join(missing)}"
+        )
+    return MarketDataset(
+        users=[_user_from_row(r) for r in _read_jsonl(path("users.jsonl"))],
+        contracts=[_contract_from_row(r) for r in _read_jsonl(path("contracts.jsonl"))],
+        threads=[_thread_from_row(r) for r in _read_jsonl(path("threads.jsonl"))],
+        posts=[_post_from_row(r) for r in _read_jsonl(path("posts.jsonl"))],
+        ratings=[_rating_from_row(r) for r in _read_jsonl(path("ratings.jsonl"))],
+    )

@@ -1,0 +1,113 @@
+"""Calendar helpers used across the library.
+
+The paper reports almost everything on a *monthly* grid spanning June 2018
+to June 2020.  This module provides a tiny, dependency-free ``Month`` value
+type plus helpers for iterating month grids and bucketing timestamps.
+
+A ``Month`` is hashable and totally ordered, so it can be used directly as
+a dictionary key or a sort key when aggregating per-month series.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+__all__ = [
+    "Month",
+    "month_of",
+    "month_range",
+    "months_between",
+    "add_months",
+]
+
+DateLike = Union[_dt.date, _dt.datetime]
+
+
+@dataclass(frozen=True, order=True)
+class Month:
+    """A calendar month, e.g. ``Month(2020, 4)`` for April 2020."""
+
+    year: int
+    month: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise ValueError(f"month must be in 1..12, got {self.month}")
+
+    def first_day(self) -> _dt.date:
+        """Return the first calendar day of this month."""
+        return _dt.date(self.year, self.month, 1)
+
+    def last_day(self) -> _dt.date:
+        """Return the last calendar day of this month."""
+        nxt = self.next()
+        return nxt.first_day() - _dt.timedelta(days=1)
+
+    def next(self) -> "Month":
+        """Return the month immediately after this one."""
+        if self.month == 12:
+            return Month(self.year + 1, 1)
+        return Month(self.year, self.month + 1)
+
+    def prev(self) -> "Month":
+        """Return the month immediately before this one."""
+        if self.month == 1:
+            return Month(self.year - 1, 12)
+        return Month(self.year, self.month - 1)
+
+    def index_from(self, origin: "Month") -> int:
+        """Number of months from ``origin`` to this month (0 if equal)."""
+        return (self.year - origin.year) * 12 + (self.month - origin.month)
+
+    def days(self) -> int:
+        """Number of calendar days in this month."""
+        return (self.last_day() - self.first_day()).days + 1
+
+    def contains(self, when: DateLike) -> bool:
+        """True if ``when`` falls inside this calendar month."""
+        return when.year == self.year and when.month == self.month
+
+    @classmethod
+    def parse(cls, text: str) -> "Month":
+        """Parse ``"YYYY-MM"`` into a :class:`Month`."""
+        parts = text.split("-")
+        if len(parts) != 2:
+            raise ValueError(f"expected 'YYYY-MM', got {text!r}")
+        return cls(int(parts[0]), int(parts[1]))
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}"
+
+
+def month_of(when: DateLike) -> Month:
+    """Return the :class:`Month` containing ``when``."""
+    return Month(when.year, when.month)
+
+
+def add_months(month: Month, count: int) -> Month:
+    """Return the month ``count`` months after ``month`` (may be negative)."""
+    idx = month.year * 12 + (month.month - 1) + count
+    return Month(idx // 12, idx % 12 + 1)
+
+
+def months_between(start: Month, end: Month) -> int:
+    """Number of months from ``start`` to ``end`` (negative if reversed)."""
+    return end.index_from(start)
+
+
+def month_range(start: Month, end: Month) -> List[Month]:
+    """Inclusive list of months from ``start`` to ``end``.
+
+    Returns an empty list when ``end`` precedes ``start``.
+    """
+    return list(iter_months(start, end))
+
+
+def iter_months(start: Month, end: Month) -> Iterator[Month]:
+    """Iterate months from ``start`` to ``end`` inclusive."""
+    current = start
+    while current <= end:
+        yield current
+        current = current.next()

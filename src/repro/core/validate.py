@@ -1,0 +1,141 @@
+"""Dataset integrity validation.
+
+When a real CrimeBB extract (or any external data) is loaded into the
+:class:`~repro.core.dataset.MarketDataset` schema, these checks catch the
+common breakages before analyses run on silently-wrong data: dangling
+foreign keys, out-of-window timestamps, duplicate identifiers, and
+impossible contract states.
+
+``validate_dataset`` returns a list of :class:`ValidationIssue`; an empty
+list means the dataset is internally consistent.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from .dataset import MarketDataset
+from .entities import ContractStatus
+from .eras import DATA_END, DATA_START
+
+__all__ = ["ValidationIssue", "validate_dataset", "assert_valid"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One integrity problem: severity ('error' or 'warning'), a machine
+    code, and a human-readable message."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def validate_dataset(
+    dataset: MarketDataset,
+    check_window: bool = True,
+    window_start: _dt.date = DATA_START,
+    window_end: _dt.date = DATA_END,
+) -> List[ValidationIssue]:
+    """Run all integrity checks; returns issues (empty = clean).
+
+    ``check_window`` verifies creation dates fall inside the study window
+    (completion dates may run a few days past it).
+    """
+    issues: List[ValidationIssue] = []
+
+    def error(code: str, message: str) -> None:
+        issues.append(ValidationIssue("error", code, message))
+
+    def warning(code: str, message: str) -> None:
+        issues.append(ValidationIssue("warning", code, message))
+
+    # -- duplicate identifiers ----------------------------------------- #
+    for name, ids in (
+        ("user", [u.user_id for u in dataset.users]),
+        ("contract", [c.contract_id for c in dataset.contracts]),
+        ("thread", [t.thread_id for t in dataset.threads]),
+        ("post", [p.post_id for p in dataset.posts]),
+    ):
+        if len(ids) != len(set(ids)):
+            duplicates = len(ids) - len(set(ids))
+            error(f"duplicate_{name}_ids", f"{duplicates} duplicate {name} ids")
+
+    known_users: Set[int] = {u.user_id for u in dataset.users}
+    known_threads: Set[int] = {t.thread_id for t in dataset.threads}
+
+    # -- contracts ------------------------------------------------------ #
+    dangling_parties = 0
+    dangling_threads = 0
+    out_of_window = 0
+    bad_completion = 0
+    for contract in dataset.contracts:
+        if known_users and (
+            contract.maker_id not in known_users
+            or contract.taker_id not in known_users
+        ):
+            dangling_parties += 1
+        if contract.thread_id is not None and known_threads and (
+            contract.thread_id not in known_threads
+        ):
+            dangling_threads += 1
+        if check_window and not (
+            window_start <= contract.created_at.date() <= window_end
+        ):
+            out_of_window += 1
+        if contract.completed_at is not None and not contract.is_complete:
+            bad_completion += 1
+    if dangling_parties:
+        error("dangling_contract_parties",
+              f"{dangling_parties} contracts reference unknown users")
+    if dangling_threads:
+        error("dangling_contract_threads",
+              f"{dangling_threads} contracts reference unknown threads")
+    if out_of_window:
+        warning("contracts_outside_window",
+                f"{out_of_window} contracts created outside "
+                f"{window_start}..{window_end}")
+    if bad_completion:
+        error("completion_date_without_complete_status",
+              f"{bad_completion} non-complete contracts carry completion dates")
+
+    # -- posts ----------------------------------------------------------- #
+    dangling_posts = sum(
+        1 for p in dataset.posts if known_threads and p.thread_id not in known_threads
+    )
+    if dangling_posts:
+        error("dangling_posts", f"{dangling_posts} posts reference unknown threads")
+
+    orphan_authors = sum(
+        1 for p in dataset.posts if known_users and p.author_id not in known_users
+    )
+    if orphan_authors:
+        warning("posts_by_unknown_users",
+                f"{orphan_authors} posts by users missing from the user table")
+
+    # -- ratings ---------------------------------------------------------- #
+    orphan_ratees = sum(
+        1 for r in dataset.ratings if known_users and r.ratee_id not in known_users
+    )
+    if orphan_ratees:
+        warning("ratings_of_unknown_users",
+                f"{orphan_ratees} ratings target users missing from the user table")
+
+    # -- global sanity ----------------------------------------------------- #
+    if dataset.contracts and not dataset.users:
+        warning("no_user_table", "contracts present but the user table is empty")
+
+    return issues
+
+
+def assert_valid(dataset: MarketDataset, **kwargs) -> None:
+    """Raise ``ValueError`` listing every *error*-severity issue found."""
+    issues = [i for i in validate_dataset(dataset, **kwargs) if i.severity == "error"]
+    if issues:
+        details = "\n".join(str(issue) for issue in issues)
+        raise ValueError(f"dataset failed validation:\n{details}")

@@ -1,0 +1,17 @@
+"""Trust-signal intervention experiments (the paper's §7 suggestion)."""
+
+from .sybil import (
+    SybilAttack,
+    TrustImpact,
+    apply_sybil_attack,
+    era_vulnerability,
+    measure_trust_distortion,
+)
+
+__all__ = [
+    "SybilAttack",
+    "TrustImpact",
+    "apply_sybil_attack",
+    "era_vulnerability",
+    "measure_trust_distortion",
+]

@@ -1,0 +1,218 @@
+"""Trust-signal interventions: Sybil attacks on the reputation record.
+
+The paper's first 'broader relevance' point (§7): the public transaction
+record is a trust infrastructure that progressively concentrates the
+market around power-users, so "spurious negative reviews and other forms
+of Sybil attack are best targeted in the early days of market formation,
+before this concentration effect takes root".
+
+This module turns that claim into an experiment (the intervention is
+modelled for *defensive* analysis of criminal marketplaces, following the
+paper).  An attack injects fake negative reputation votes from throwaway
+accounts at a chosen date; the *trust distortion* it causes is measured
+on the reputation record itself:
+
+* rank correlation (Spearman) between pre- and post-attack reputation
+  rankings — how scrambled the trust signal is;
+* displacement of the top-k trusted users — how many established traders
+  lose their standing;
+* the median reputation drop of the targeted users.
+
+Running the same attack budget at each era's start reproduces the
+paper's claim: the earlier the attack, the larger the distortion.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from ..core.dataset import MarketDataset
+from ..core.entities import Rating
+from ..core.eras import ERAS, Era
+
+__all__ = [
+    "SybilAttack",
+    "TrustImpact",
+    "apply_sybil_attack",
+    "measure_trust_distortion",
+    "era_vulnerability",
+]
+
+#: Fake rater ids start here so they never collide with organic users.
+_SYBIL_ID_BASE = 10_000_000
+
+
+@dataclass(frozen=True)
+class SybilAttack:
+    """One attack configuration.
+
+    ``budget`` fake negative votes are spread over ``targets`` users,
+    chosen by ``strategy``:
+
+    * ``"top_users"`` — the most-reputed users at attack time (the
+      power-users whose standing anchors the market);
+    * ``"random"`` — uniformly among users with any reputation.
+    """
+
+    when: _dt.datetime
+    budget: int = 200
+    targets: int = 20
+    strategy: str = "top_users"
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0 or self.targets <= 0:
+            raise ValueError("budget and targets must be positive")
+        if self.strategy not in ("top_users", "random"):
+            raise ValueError("strategy must be 'top_users' or 'random'")
+
+
+def _reputation_at(dataset: MarketDataset, when: _dt.datetime) -> Dict[int, int]:
+    """Net reputation (votes only) per user as of ``when``."""
+    scores: Dict[int, int] = {}
+    for rating in dataset.ratings:
+        if rating.created_at <= when:
+            scores[rating.ratee_id] = scores.get(rating.ratee_id, 0) + rating.score
+    return scores
+
+
+def apply_sybil_attack(
+    dataset: MarketDataset, attack: SybilAttack, seed: int = 0
+) -> Tuple[MarketDataset, List[int]]:
+    """Inject the attack's fake negative votes; return (dataset, targets).
+
+    The original dataset is not modified; the returned dataset shares the
+    entity lists except for an extended ratings table.
+    """
+    rng = np.random.default_rng(seed)
+    standing = _reputation_at(dataset, attack.when)
+    candidates = [u for u, score in standing.items() if score > 0]
+    if not candidates:
+        raise ValueError("no reputed users exist at the attack date")
+
+    if attack.strategy == "top_users":
+        candidates.sort(key=lambda u: -standing[u])
+        targets = candidates[: attack.targets]
+    else:
+        size = min(attack.targets, len(candidates))
+        targets = [int(u) for u in rng.choice(candidates, size=size, replace=False)]
+
+    per_target = np.full(len(targets), attack.budget // len(targets))
+    per_target[: attack.budget % len(targets)] += 1
+
+    fake_ratings: List[Rating] = []
+    sybil_id = _SYBIL_ID_BASE
+    for target, count in zip(targets, per_target):
+        for _ in range(int(count)):
+            offset = float(rng.uniform(0, 14 * 86400))  # two-week campaign
+            fake_ratings.append(
+                Rating(
+                    contract_id=0,
+                    rater_id=sybil_id,
+                    ratee_id=int(target),
+                    score=-1,
+                    created_at=attack.when + _dt.timedelta(seconds=offset),
+                )
+            )
+            sybil_id += 1
+
+    attacked = MarketDataset(
+        users=dataset.users,
+        contracts=dataset.contracts,
+        threads=dataset.threads,
+        posts=dataset.posts,
+        ratings=list(dataset.ratings) + fake_ratings,
+    )
+    return attacked, targets
+
+
+@dataclass
+class TrustImpact:
+    """Distortion of the reputation record caused by one attack."""
+
+    rank_correlation: float        # Spearman rho pre vs post (1 = unharmed)
+    top_k_displaced: float         # share of top-k users pushed out of top-k
+    median_target_drop: float      # median reputation loss of targets
+    targets_negative_share: float  # share of targets driven below zero
+
+    @property
+    def distortion(self) -> float:
+        """A single 0..1 damage score (1 = fully scrambled top ranks)."""
+        return max(0.0, 1.0 - max(self.rank_correlation, 0.0)) * 0.5 + (
+            self.top_k_displaced * 0.5
+        )
+
+
+def measure_trust_distortion(
+    original: MarketDataset,
+    attacked: MarketDataset,
+    targets: Sequence[int],
+    when: _dt.datetime,
+    horizon_days: int = 30,
+    top_k: int = 50,
+) -> TrustImpact:
+    """Compare the reputation record with and without the attack.
+
+    Measured ``horizon_days`` after the attack date, over users who had
+    any reputation at that point in the clean timeline.
+    """
+    at = when + _dt.timedelta(days=horizon_days)
+    before = _reputation_at(original, at)
+    after = _reputation_at(attacked, at)
+    users = sorted(before)
+    if len(users) < 3:
+        raise ValueError("too few reputed users to measure distortion")
+
+    clean = np.asarray([before[u] for u in users], dtype=float)
+    dirty = np.asarray([after.get(u, 0) for u in users], dtype=float)
+    rho = float(spearmanr(clean, dirty).statistic)
+
+    k = min(top_k, len(users))
+    top_before = set(sorted(users, key=lambda u: -before[u])[:k])
+    top_after = set(sorted(users, key=lambda u: -after.get(u, 0))[:k])
+    displaced = len(top_before - top_after) / k
+
+    drops = [before.get(t, 0) - after.get(t, 0) for t in targets]
+    negative = sum(1 for t in targets if after.get(t, 0) < 0)
+
+    return TrustImpact(
+        rank_correlation=rho,
+        top_k_displaced=displaced,
+        median_target_drop=float(np.median(drops)) if drops else 0.0,
+        targets_negative_share=negative / len(targets) if targets else 0.0,
+    )
+
+
+def era_vulnerability(
+    dataset: MarketDataset,
+    budget: int = 200,
+    targets: int = 20,
+    strategy: str = "top_users",
+    seed: int = 0,
+    offset_days: int = 45,
+) -> Dict[str, TrustImpact]:
+    """Run the same attack budget early in each era and compare damage.
+
+    The attack lands ``offset_days`` into each era (so every era has some
+    reputation record to distort).  Per the paper's argument, the SET-UP
+    attack should scramble the trust signal the most.
+    """
+    impacts: Dict[str, TrustImpact] = {}
+    for era in ERAS:
+        when = _dt.datetime.combine(era.start, _dt.time(12)) + _dt.timedelta(
+            days=offset_days
+        )
+        attack = SybilAttack(when=when, budget=budget, targets=targets,
+                             strategy=strategy)
+        try:
+            attacked, hit = apply_sybil_attack(dataset, attack, seed=seed)
+            impacts[era.name] = measure_trust_distortion(
+                dataset, attacked, hit, when
+            )
+        except ValueError:
+            continue
+    return impacts

@@ -1,0 +1,26 @@
+"""Contract-graph construction, degree analyses and power-law fitting."""
+
+from .degrees import (
+    DegreeDistributions,
+    DegreeGrowthPoint,
+    degree_distributions,
+    degree_growth,
+)
+from .graph import DEGREE_KINDS, ContractGraph
+from .metrics import GraphMetrics, graph_metrics, random_baseline_metrics
+from .powerlaw import PowerLawFit, fit_power_law, loglik_ratio_vs_exponential
+
+__all__ = [
+    "DegreeDistributions",
+    "DegreeGrowthPoint",
+    "degree_distributions",
+    "degree_growth",
+    "DEGREE_KINDS",
+    "ContractGraph",
+    "GraphMetrics",
+    "graph_metrics",
+    "random_baseline_metrics",
+    "PowerLawFit",
+    "fit_power_law",
+    "loglik_ratio_vs_exponential",
+]

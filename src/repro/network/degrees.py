@@ -1,0 +1,116 @@
+"""Degree distributions (Figure 7) and degree growth over time (Figure 8).
+
+Both figures are computed twice: over *created* contracts (everything in
+the dataset) and over *completed* contracts only.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.dataset import MarketDataset
+from ..core.entities import Contract
+from ..core.timeutils import Month, month_of
+from .graph import DEGREE_KINDS, ContractGraph
+
+__all__ = [
+    "DegreeDistributions",
+    "DegreeGrowthPoint",
+    "degree_distributions",
+    "degree_growth",
+]
+
+
+@dataclass
+class DegreeDistributions:
+    """Figure 7's data: degree histograms for one contract set.
+
+    ``histogram[kind][d]`` is the number of users with degree ``d``;
+    ``max_degree[kind]`` the highest degree observed.
+    """
+
+    histogram: Dict[str, Dict[int, int]]
+    max_degree: Dict[str, int]
+    average_degree: Dict[str, float]
+    n_users: int
+    n_contracts: int
+
+    def truncated(self, kind: str, limit: int = 15) -> Dict[int, int]:
+        """Histogram restricted to degrees 0..limit (as plotted)."""
+        return {
+            degree: count
+            for degree, count in sorted(self.histogram[kind].items())
+            if degree <= limit
+        }
+
+
+def degree_distributions(contracts: Sequence[Contract]) -> DegreeDistributions:
+    """Compute raw/inbound/outbound degree distributions for a contract set."""
+    graph = ContractGraph(contracts)
+    histogram: Dict[str, Dict[int, int]] = {}
+    max_degree: Dict[str, int] = {}
+    average_degree: Dict[str, float] = {}
+    for kind in DEGREE_KINDS:
+        degrees = graph.degree_array(kind)
+        histogram[kind] = dict(sorted(Counter(degrees.tolist()).items()))
+        max_degree[kind] = int(degrees.max()) if len(degrees) else 0
+        average_degree[kind] = float(degrees.mean()) if len(degrees) else 0.0
+    return DegreeDistributions(
+        histogram=histogram,
+        max_degree=max_degree,
+        average_degree=average_degree,
+        n_users=len(graph),
+        n_contracts=graph.n_contracts,
+    )
+
+
+@dataclass
+class DegreeGrowthPoint:
+    """One month of Figure 8: cumulative-network degree summaries."""
+
+    month: Month
+    average_raw: float
+    max_raw: int
+    max_inbound: int
+    max_outbound: int
+
+
+def degree_growth(
+    dataset: MarketDataset, completed_only: bool = False
+) -> List[DegreeGrowthPoint]:
+    """Cumulative degree growth month by month (Figure 8).
+
+    The network at month *m* contains every qualifying contract created up
+    to the end of *m*; the graph is grown incrementally so the whole
+    series costs one pass over the contracts.
+    """
+    contracts = dataset.completed() if completed_only else dataset.contracts
+    if not contracts:
+        return []
+    by_month: Dict[Month, List[Contract]] = {}
+    for contract in contracts:
+        by_month.setdefault(month_of(contract.created_at), []).append(contract)
+
+    months = sorted(by_month)
+    graph = ContractGraph([])
+    series: List[DegreeGrowthPoint] = []
+    first, last = months[0], months[-1]
+    current = first
+    while current <= last:
+        for contract in by_month.get(current, ()):  # grow incrementally
+            graph.add_contract(contract)
+        series.append(
+            DegreeGrowthPoint(
+                month=current,
+                average_raw=graph.average_degree("raw"),
+                max_raw=graph.max_degree("raw"),
+                max_inbound=graph.max_degree("inbound"),
+                max_outbound=graph.max_degree("outbound"),
+            )
+        )
+        current = current.next()
+    return series

@@ -1,0 +1,24 @@
+"""Text reporting and the experiment registry."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    ExperimentReport,
+    run_experiment,
+)
+from .figures import era_marker, render_series, sparkline
+from .tables import format_count_share, format_pct, format_usd, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "ExperimentReport",
+    "run_experiment",
+    "era_marker",
+    "render_series",
+    "sparkline",
+    "format_count_share",
+    "format_pct",
+    "format_usd",
+    "render_table",
+]

@@ -1,0 +1,75 @@
+"""Text rendering of monthly series (the paper's figures as data).
+
+Each figure is reproduced as the numeric series behind it; ``render_series``
+prints aligned per-month columns and ``sparkline`` gives a quick shape
+check in one line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.timeutils import Month
+from .tables import render_table
+
+__all__ = ["render_series", "sparkline", "era_marker"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of a numeric series."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    out = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[index])
+    return "".join(out)
+
+
+def era_marker(month: Month) -> str:
+    """E1/E2/E3 label for a month (by its 15th), '' outside the window."""
+    import datetime as _dt
+
+    from ..core.eras import era_of
+
+    era = era_of(_dt.date(month.year, month.month, 15))
+    return era.short if era else ""
+
+
+def render_series(
+    series: Mapping[str, Mapping[Month, float]],
+    title: Optional[str] = None,
+    fmt: str = "{:,.0f}",
+    months: Optional[Sequence[Month]] = None,
+) -> List[str]:
+    """Render ``{label: {month: value}}`` as a month-by-column table.
+
+    Months default to the union across all labels; missing cells print as
+    '-'.  A sparkline per label is appended for shape reading.
+    """
+    if months is None:
+        all_months = set()
+        for values in series.values():
+            all_months.update(values)
+        months = sorted(all_months)
+    headers = ["month", "era"] + list(series)
+    rows: List[List[object]] = []
+    for month in months:
+        row: List[object] = [str(month), era_marker(month)]
+        for label in series:
+            value = series[label].get(month)
+            row.append(fmt.format(value) if value is not None else "-")
+        rows.append(row)
+    lines = render_table(headers, rows, title=title)
+    lines.append("")
+    for label in series:
+        values = [series[label].get(m, 0.0) for m in months]
+        lines.append(f"  {label:<28s} {sparkline(values)}")
+    return lines

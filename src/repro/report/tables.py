@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints each reproduced table in a fixed-width
+layout comparable side-by-side with the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_count_share", "format_usd", "format_pct"]
+
+
+def format_count_share(count: int, share: float) -> str:
+    """``"39,908 (21.20%)"`` — the paper's cell format."""
+    return f"{count:,} ({share * 100:.2f}%)"
+
+
+def format_usd(value: float) -> str:
+    """``"$971,228"`` — whole-dollar figures as in Table 5."""
+    return f"${value:,.0f}"
+
+
+def format_pct(share: float, digits: int = 1) -> str:
+    return f"{share * 100:.{digits}f}%"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    align_right: bool = True,
+) -> List[str]:
+    """Render rows into aligned text lines.
+
+    The first column is left-aligned (labels); the rest are right-aligned
+    unless ``align_right`` is False.  Returns the lines without trailing
+    newlines, ready for printing or joining.
+    """
+    materialised = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in materialised:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0 or not align_right:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialised)
+    return lines

@@ -1,0 +1,71 @@
+"""From-scratch statistical estimators used by the paper's analyses."""
+
+from .bootstrap import (
+    BootstrapResult,
+    bootstrap_ci,
+    bootstrap_gini,
+    bootstrap_top_share,
+)
+from .descriptive import (
+    concentration_curve,
+    gini,
+    herfindahl,
+    lorenz_curve,
+    top_share,
+)
+from .hurdle import HurdleResult, fit_hurdle
+from .information import aic, bic, mcfadden_r2
+from .kmeans import KMeansResult, choose_k, kmeans, silhouette_score
+from .ltm import LatentTransitionResult, fit_latent_transitions
+from .mixture import PoissonMixtureResult, fit_poisson_mixture, select_poisson_mixture
+from .overdispersion import (
+    DispersionTest,
+    cameron_trivedi_test,
+    dispersion_index,
+    within_class_dispersion,
+)
+from .poisson_glm import PoissonResult, add_intercept, fit_poisson, poisson_loglik_terms
+from .preprocessing import Standardizer, sqrt_transform, standardize
+from .vuong import VuongResult, vuong_test
+from .zip_model import ZIPResult, fit_zip
+
+__all__ = [
+    "BootstrapResult",
+    "bootstrap_ci",
+    "bootstrap_gini",
+    "bootstrap_top_share",
+    "concentration_curve",
+    "gini",
+    "herfindahl",
+    "lorenz_curve",
+    "top_share",
+    "HurdleResult",
+    "fit_hurdle",
+    "aic",
+    "bic",
+    "mcfadden_r2",
+    "KMeansResult",
+    "choose_k",
+    "kmeans",
+    "silhouette_score",
+    "LatentTransitionResult",
+    "fit_latent_transitions",
+    "PoissonMixtureResult",
+    "fit_poisson_mixture",
+    "select_poisson_mixture",
+    "DispersionTest",
+    "cameron_trivedi_test",
+    "dispersion_index",
+    "within_class_dispersion",
+    "PoissonResult",
+    "add_intercept",
+    "fit_poisson",
+    "poisson_loglik_terms",
+    "Standardizer",
+    "sqrt_transform",
+    "standardize",
+    "VuongResult",
+    "vuong_test",
+    "ZIPResult",
+    "fit_zip",
+]

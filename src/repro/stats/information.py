@@ -1,0 +1,36 @@
+"""Model-selection criteria: AIC, BIC, McFadden's pseudo R-squared.
+
+The paper selects the 12-class latent model by AIC and BIC (§5.1) and
+reports McFadden's R-squared for its Zero-Inflated Poisson regressions
+(Tables 9 and 10).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["aic", "bic", "mcfadden_r2"]
+
+
+def aic(log_likelihood: float, n_params: int) -> float:
+    """Akaike information criterion: ``2k - 2 lnL`` (lower is better)."""
+    return 2.0 * n_params - 2.0 * log_likelihood
+
+
+def bic(log_likelihood: float, n_params: int, n_obs: int) -> float:
+    """Bayesian information criterion: ``k ln n - 2 lnL`` (lower is better)."""
+    if n_obs <= 0:
+        raise ValueError("n_obs must be positive")
+    return n_params * math.log(n_obs) - 2.0 * log_likelihood
+
+
+def mcfadden_r2(log_likelihood: float, null_log_likelihood: float) -> float:
+    """McFadden's pseudo R-squared: ``1 - lnL / lnL_null``.
+
+    ``lnL_null`` is the log-likelihood of the intercept-only model.  The
+    statistic is 0 when the model explains nothing beyond the intercept
+    and approaches 1 for near-perfect fits.
+    """
+    if null_log_likelihood == 0:
+        raise ValueError("null log-likelihood must be non-zero")
+    return 1.0 - log_likelihood / null_log_likelihood

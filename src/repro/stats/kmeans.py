@@ -1,0 +1,178 @@
+"""k-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Implemented from scratch on NumPy, as used for the cold-start analysis
+(§5.2): the paper clusters standardised cold-start variables, finds one
+dominant low-activity cluster plus a small high-activity one, then
+re-clusters the outlier group into eight clusters.
+
+Includes a silhouette score for data-driven choice of ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans", "silhouette_score", "choose_k"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one k-means fit."""
+
+    centers: np.ndarray     # (k, d)
+    labels: np.ndarray      # (n,)
+    inertia: float          # sum of squared distances to assigned centers
+    n_iter: int
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest fitted center."""
+        X = np.asarray(X, dtype=float)
+        distances = _pairwise_sq(X, self.centers)
+        return distances.argmin(axis=1)
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _pairwise_sq(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of X and rows of C.
+
+    Clipped at zero: the expansion ``|x|^2 - 2x.c + |c|^2`` can dip a few
+    ulps below zero for coincident points.
+    """
+    distances = (
+        (X * X).sum(axis=1)[:, None]
+        - 2.0 * X @ C.T
+        + (C * C).sum(axis=1)[None, :]
+    )
+    return np.clip(distances, 0.0, None)
+
+
+def _kmeanspp_init(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D^2 sampling."""
+    n = X.shape[0]
+    centers = np.empty((k, X.shape[1]), dtype=float)
+    first = int(rng.integers(0, n))
+    centers[0] = X[first]
+    closest = _pairwise_sq(X, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            pick = int(rng.integers(0, n))
+        else:
+            pick = int(rng.choice(n, p=closest / total))
+        centers[i] = X[pick]
+        distances = _pairwise_sq(X, centers[i : i + 1]).ravel()
+        closest = np.minimum(closest, distances)
+    return centers
+
+
+def kmeans(
+    X: np.ndarray,
+    k: int,
+    n_init: int = 8,
+    max_iter: int = 300,
+    tol: float = 1e-6,
+    seed: Optional[int] = 0,
+) -> KMeansResult:
+    """Cluster ``X`` into ``k`` groups; best of ``n_init`` restarts.
+
+    Raises ``ValueError`` when ``k`` exceeds the number of points.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("expected a 2-D feature matrix")
+    n = X.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    rng = np.random.default_rng(seed)
+
+    best: Optional[KMeansResult] = None
+    for _ in range(max(1, n_init)):
+        centers = _kmeanspp_init(X, k, rng)
+        labels = np.zeros(n, dtype=int)
+        inertia = np.inf
+        for iteration in range(max_iter):
+            distances = _pairwise_sq(X, centers)
+            labels = distances.argmin(axis=1)
+            new_inertia = float(distances[np.arange(n), labels].sum())
+            new_centers = centers.copy()
+            for cluster in range(k):
+                members = X[labels == cluster]
+                if len(members):
+                    new_centers[cluster] = members.mean(axis=0)
+                else:  # re-seed an empty cluster at the farthest point
+                    farthest = int(distances.min(axis=1).argmax())
+                    new_centers[cluster] = X[farthest]
+            shift = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            if abs(inertia - new_inertia) <= tol * max(1.0, abs(inertia)) and shift <= tol:
+                inertia = new_inertia
+                break
+            inertia = new_inertia
+        candidate = KMeansResult(centers, labels, inertia, iteration + 1)
+        if best is None or candidate.inertia < best.inertia:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def silhouette_score(X: np.ndarray, labels: np.ndarray, sample: int = 2000,
+                     seed: int = 0) -> float:
+    """Mean silhouette coefficient (subsampled for large n).
+
+    Returns 0.0 when there are fewer than two clusters with members.
+    """
+    X = np.asarray(X, dtype=float)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        return 0.0
+    n = X.shape[0]
+    rng = np.random.default_rng(seed)
+    index = rng.choice(n, size=min(sample, n), replace=False)
+    scores = []
+    for i in index:
+        own = labels[i]
+        same = X[(labels == own)]
+        if len(same) <= 1:
+            continue
+        d_same = np.sqrt(((same - X[i]) ** 2).sum(axis=1))
+        a = d_same.sum() / (len(same) - 1)
+        b = np.inf
+        for other in unique:
+            if other == own:
+                continue
+            members = X[labels == other]
+            if not len(members):
+                continue
+            d_other = np.sqrt(((members - X[i]) ** 2).sum(axis=1)).mean()
+            b = min(b, d_other)
+        denom = max(a, b)
+        if denom > 0 and np.isfinite(b):
+            scores.append((b - a) / denom)
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def choose_k(
+    X: np.ndarray, k_range: Tuple[int, int] = (2, 8), seed: int = 0
+) -> Tuple[int, dict]:
+    """Pick k by silhouette over an inclusive range; also return the scores."""
+    scores = {}
+    lo, hi = k_range
+    for k in range(lo, hi + 1):
+        if k > len(X):
+            break
+        result = kmeans(X, k, seed=seed)
+        scores[k] = silhouette_score(X, result.labels, seed=seed)
+    if not scores:
+        raise ValueError("k_range produced no candidates")
+    best = max(scores, key=lambda k: scores[k])
+    return best, scores

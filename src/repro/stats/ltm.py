@@ -1,0 +1,131 @@
+"""Latent Transition Modelling on top of the Poisson latent classes.
+
+§5.1: "By creating a Latent Transition Model, we can additionally
+understand how users move between classes over time."  The implementation
+follows the paper's two-stage approach: fit the latent-class measurement
+model on pooled user-month count profiles, then estimate a row-stochastic
+transition matrix from each user's consecutive-month class assignments
+(with Laplace smoothing so unseen transitions get small mass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .mixture import PoissonMixtureResult, fit_poisson_mixture
+
+__all__ = ["LatentTransitionResult", "fit_latent_transitions"]
+
+#: One time period's observations: user id -> count-profile vector.
+PanelPeriod = Dict[Hashable, np.ndarray]
+
+
+@dataclass
+class LatentTransitionResult:
+    """A fitted latent transition model.
+
+    ``assignments[t][user]`` is the hard class of ``user`` in period t;
+    ``transition[i, j]`` estimates P(class j at t+1 | class i at t);
+    ``occupancy[t, k]`` counts users assigned to class k in period t.
+    """
+
+    mixture: PoissonMixtureResult
+    transition: np.ndarray              # (K, K), rows sum to 1
+    occupancy: np.ndarray               # (T, K)
+    assignments: List[Dict[Hashable, int]]
+
+    @property
+    def k(self) -> int:
+        return self.mixture.k
+
+    @property
+    def n_periods(self) -> int:
+        return self.occupancy.shape[0]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Left eigenvector of the transition matrix (power iteration)."""
+        pi = np.full(self.k, 1.0 / self.k)
+        for _ in range(500):
+            nxt = pi @ self.transition
+            if np.abs(nxt - pi).max() < 1e-12:
+                return nxt
+            pi = nxt
+        return pi
+
+    def persistence(self) -> np.ndarray:
+        """Diagonal of the transition matrix: P(stay in class)."""
+        return np.diag(self.transition)
+
+
+def fit_latent_transitions(
+    panel: Sequence[PanelPeriod],
+    k: int,
+    seed: int = 0,
+    n_init: int = 3,
+    smoothing: float = 0.5,
+    feature_names: Optional[Sequence[str]] = None,
+    mixture: Optional[PoissonMixtureResult] = None,
+) -> LatentTransitionResult:
+    """Fit the measurement model and estimate monthly transitions.
+
+    Parameters
+    ----------
+    panel:
+        One dict per time period mapping user id -> count vector.  Users
+        may enter and leave; transitions are only counted for users
+        observed in two consecutive periods.
+    k:
+        Number of latent classes (ignored when ``mixture`` is supplied).
+    smoothing:
+        Laplace pseudo-count added to every transition cell.
+    mixture:
+        A pre-fitted measurement model to reuse (e.g. from
+        :func:`~repro.stats.mixture.select_poisson_mixture`).
+    """
+    if not panel:
+        raise ValueError("panel must contain at least one period")
+    pooled_rows: List[np.ndarray] = []
+    for period in panel:
+        pooled_rows.extend(np.asarray(v, dtype=float) for v in period.values())
+    if not pooled_rows:
+        raise ValueError("panel contains no observations")
+    Y = np.vstack(pooled_rows)
+
+    if mixture is None:
+        mixture = fit_poisson_mixture(
+            Y, k, n_init=n_init, seed=seed, feature_names=feature_names
+        )
+    n_classes = mixture.k
+
+    assignments: List[Dict[Hashable, int]] = []
+    occupancy = np.zeros((len(panel), n_classes))
+    for t, period in enumerate(panel):
+        users = list(period)
+        if users:
+            rows = np.vstack([np.asarray(period[u], dtype=float) for u in users])
+            labels = mixture.assign(rows)
+        else:
+            labels = np.empty(0, dtype=int)
+        table = {user: int(label) for user, label in zip(users, labels)}
+        assignments.append(table)
+        for label in table.values():
+            occupancy[t, label] += 1
+
+    counts = np.full((n_classes, n_classes), smoothing, dtype=float)
+    for t in range(len(panel) - 1):
+        now, nxt = assignments[t], assignments[t + 1]
+        for user, source in now.items():
+            target = nxt.get(user)
+            if target is not None:
+                counts[source, target] += 1.0
+    transition = counts / counts.sum(axis=1, keepdims=True)
+
+    return LatentTransitionResult(
+        mixture=mixture,
+        transition=transition,
+        occupancy=occupancy,
+        assignments=assignments,
+    )

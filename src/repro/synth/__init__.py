@@ -1,0 +1,51 @@
+"""Calibrated synthetic market generator (the CrimeBB substitute)."""
+
+from .config import (
+    CLASS_LABELS,
+    CLASS_NAMES,
+    CLASS_TIERS,
+    DEFAULT_CONFIG,
+    MAKE_RATES,
+    TAKE_RATES,
+    SimulationConfig,
+    interpolate_curve,
+)
+from .marketsim import (
+    MarketSimulator,
+    SimulationResult,
+    SimulationTruth,
+    generate_market,
+)
+from .obligations import ObligationGenerator, ObligationSpec
+from .population import ClassRoster, Population
+from .calibration import CalibrationCheck, CalibrationReport, score_calibration
+from .scenarios import (
+    flat_market_scenario,
+    no_covid_scenario,
+    no_mandate_scenario,
+)
+
+__all__ = [
+    "CLASS_LABELS",
+    "CLASS_NAMES",
+    "CLASS_TIERS",
+    "DEFAULT_CONFIG",
+    "MAKE_RATES",
+    "TAKE_RATES",
+    "SimulationConfig",
+    "interpolate_curve",
+    "MarketSimulator",
+    "SimulationResult",
+    "SimulationTruth",
+    "generate_market",
+    "ObligationGenerator",
+    "ObligationSpec",
+    "ClassRoster",
+    "Population",
+    "CalibrationCheck",
+    "CalibrationReport",
+    "score_calibration",
+    "flat_market_scenario",
+    "no_covid_scenario",
+    "no_mandate_scenario",
+]

@@ -1,0 +1,206 @@
+"""User population model: class rosters, arrivals, churn and attachment.
+
+Each behavioural class (A..L) maintains a roster of currently-active
+members.  When the simulator assigns a contract to a class it either
+*reuses* an existing roster member — picked with preferential attachment,
+weight ``(1 + past_contracts) ** alpha`` — or *spawns* a new member (a
+"new member joining the marketplace" in Figure 1's sense).  Reuse
+probabilities and lifetimes depend on the class tier: 'single' classes
+churn fast, 'power' classes persist and accumulate hub degrees (producing
+Figure 7's heavy-tailed degree distributions).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.entities import User
+from ..core.timeutils import Month
+from . import config as cfg
+
+__all__ = ["ClassRoster", "Population"]
+
+
+@dataclass
+class ClassRoster:
+    """Active members of one behavioural class."""
+
+    name: str
+    user_ids: List[int] = field(default_factory=list)
+    contract_counts: List[int] = field(default_factory=list)
+    expiry: List[int] = field(default_factory=list)  # month index, exclusive
+
+    def cull(self, month_index: int) -> None:
+        """Drop members whose lifetime ended before ``month_index``."""
+        keep = [i for i, exp in enumerate(self.expiry) if exp > month_index]
+        if len(keep) != len(self.user_ids):
+            self.user_ids = [self.user_ids[i] for i in keep]
+            self.contract_counts = [self.contract_counts[i] for i in keep]
+            self.expiry = [self.expiry[i] for i in keep]
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+
+class Population:
+    """Creates users on demand and tracks per-class rosters.
+
+    Parameters
+    ----------
+    rng:
+        Shared ``numpy.random.Generator``.
+    start_month:
+        First month of the simulation (month index 0).
+    attachment_alpha:
+        Exponent of the preferential-attachment weight.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        start_month: Month,
+        attachment_alpha: float = cfg.ATTACHMENT_ALPHA,
+    ) -> None:
+        self.rng = rng
+        self.start_month = start_month
+        self.attachment_alpha = attachment_alpha
+        self.users: List[User] = []
+        self.rosters: Dict[str, ClassRoster] = {
+            name: ClassRoster(name) for name in cfg.CLASS_NAMES
+        }
+        #: Per-user latent "scamminess" in [0, 1); drives negative ratings
+        #: and dispute involvement.
+        self.scam_propensity: Dict[int, float] = {}
+        #: Latent non-completer flags (contracts of these users rarely
+        #: settle), producing user-level excess zeros for the ZIP models.
+        self.non_completer: Dict[int, bool] = {}
+        #: user id -> behavioural class name, maintained at spawn time.
+        self.class_of: Dict[int, str] = {}
+        #: user id -> month index the user first became active.
+        self.spawn_month: Dict[int, int] = {}
+        self._next_user_id = 1
+
+    # ------------------------------------------------------------------ #
+
+    def begin_month(self, month_index: int) -> None:
+        """Retire members whose lifetimes have expired."""
+        for roster in self.rosters.values():
+            roster.cull(month_index)
+
+    def active_user_ids(self) -> List[int]:
+        """Ids of every currently-active roster member."""
+        ids: List[int] = []
+        for roster in self.rosters.values():
+            ids.extend(roster.user_ids)
+        return ids
+
+    def active_by_class(self) -> Dict[str, List[int]]:
+        """Snapshot of roster membership by class."""
+        return {name: list(r.user_ids) for name, r in self.rosters.items()}
+
+    def roster_size(self, klass: str) -> int:
+        return len(self.rosters[klass])
+
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, klass: str, month_index: int, month: Month, era_index: int) -> int:
+        """Create a new user of ``klass`` active from ``month``."""
+        tier = cfg.CLASS_TIERS[klass]
+        mean_life = cfg.LIFETIME_MONTHS[tier]
+        lifetime = int(self.rng.geometric(1.0 / mean_life))
+        # Forum-join date precedes the first contract; SET-UP participants
+        # often had a long pre-contract forum history (§5.2).
+        if era_index == 0:
+            back_days = int(self.rng.uniform(0, 400))
+        elif self.rng.random() < 0.8:
+            back_days = int(self.rng.uniform(0, 30))
+        else:
+            back_days = int(self.rng.uniform(30, 300))
+        joined = _dt.datetime.combine(
+            month.first_day(), _dt.time(hour=int(self.rng.integers(0, 24)))
+        ) - _dt.timedelta(days=back_days)
+        user = User(
+            user_id=self._next_user_id,
+            joined_forum_at=joined,
+            latent_class=klass,
+        )
+        self._next_user_id += 1
+        self.users.append(user)
+        self.scam_propensity[user.user_id] = float(self.rng.beta(0.6, 20.0))
+        self.non_completer[user.user_id] = bool(
+            self.rng.random() < cfg.NON_COMPLETER_PROB[tier]
+        )
+        self.class_of[user.user_id] = klass
+        self.spawn_month[user.user_id] = month_index
+        roster = self.rosters[klass]
+        roster.user_ids.append(user.user_id)
+        roster.contract_counts.append(0)
+        roster.expiry.append(month_index + max(1, lifetime))
+        return user.user_id
+
+    def _attachment_probs(self, roster: ClassRoster) -> np.ndarray:
+        counts = np.asarray(roster.contract_counts, dtype=float)
+        weights = np.power(1.0 + counts, self.attachment_alpha)
+        return weights / weights.sum()
+
+    def acquire_actors(
+        self,
+        klass: str,
+        count: int,
+        month_index: int,
+        month: Month,
+        era_index: int,
+        era_fraction: float = 0.0,
+    ) -> np.ndarray:
+        """Return ``count`` user ids of ``klass`` to act this month.
+
+        A mix of reused roster members (preferential attachment) and
+        freshly-spawned users, per the tier's reuse probability (which is
+        interpolated across the era).  Updates attachment counts so later
+        picks within the month see the load.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        tier = cfg.CLASS_TIERS[klass]
+        reuse_start, reuse_end = cfg.REUSE_PROBS[tier][era_index]
+        reuse_prob = reuse_start + (reuse_end - reuse_start) * era_fraction
+        roster = self.rosters[klass]
+
+        n_reuse = int(self.rng.binomial(count, reuse_prob)) if len(roster) else 0
+        n_new = count - n_reuse
+
+        ids = np.empty(count, dtype=np.int64)
+        if n_reuse:
+            probs = self._attachment_probs(roster)
+            picks = self.rng.choice(len(roster), size=n_reuse, replace=True, p=probs)
+            for offset, idx in enumerate(picks):
+                ids[offset] = roster.user_ids[idx]
+                roster.contract_counts[idx] += 1
+        for offset in range(n_new):
+            new_id = self._spawn(klass, month_index, month, era_index)
+            ids[n_reuse + offset] = new_id
+            roster.contract_counts[-1] += 1
+        self.rng.shuffle(ids)
+        return ids
+
+    def resolve_collision(
+        self, klass: str, forbidden: int, month_index: int, month: Month, era_index: int
+    ) -> int:
+        """Pick a user of ``klass`` different from ``forbidden``.
+
+        Used when a sampled taker equals the maker; falls back to spawning
+        when the roster has no alternative.
+        """
+        roster = self.rosters[klass]
+        candidates = [u for u in roster.user_ids if u != forbidden]
+        if candidates:
+            pick = int(self.rng.integers(0, len(candidates)))
+            chosen = candidates[pick]
+            idx = roster.user_ids.index(chosen)
+            roster.contract_counts[idx] += 1
+            return chosen
+        return self._spawn(klass, month_index, month, era_index)

@@ -1,0 +1,53 @@
+"""Text pipeline: normalisation, activity taxonomy, payments, values."""
+
+from .normalize import STOPWORDS, SYNONYMS, normalize, tokenize, unify_synonyms
+from .taxonomy import (
+    CATEGORIES,
+    CATEGORY_LABELS,
+    PAYMENT_RELATED_CATEGORIES,
+    UNCATEGORISED,
+    ActivityCategorizer,
+    Category,
+    categorize_sides,
+    categorize_text,
+)
+from .payments import (
+    PAYMENT_LABELS,
+    PAYMENT_METHODS,
+    PaymentExtractor,
+    PaymentMethod,
+    extract_payment_methods,
+)
+from .values import (
+    ContractValue,
+    ExtractedValue,
+    estimate_contract_value,
+    estimate_values,
+    extract_values,
+)
+
+__all__ = [
+    "STOPWORDS",
+    "SYNONYMS",
+    "normalize",
+    "tokenize",
+    "unify_synonyms",
+    "CATEGORIES",
+    "CATEGORY_LABELS",
+    "PAYMENT_RELATED_CATEGORIES",
+    "UNCATEGORISED",
+    "ActivityCategorizer",
+    "Category",
+    "categorize_sides",
+    "categorize_text",
+    "PAYMENT_LABELS",
+    "PAYMENT_METHODS",
+    "PaymentExtractor",
+    "PaymentMethod",
+    "extract_payment_methods",
+    "ContractValue",
+    "ExtractedValue",
+    "estimate_contract_value",
+    "estimate_values",
+    "extract_values",
+]

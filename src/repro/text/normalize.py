@@ -1,0 +1,96 @@
+"""Obligation-text normalisation.
+
+§4.3: "we first extract the obligation section in all public contracts,
+then apply normalisation techniques, such as removing stop-words,
+delimiters, digits, and unifying synonyms."  This module implements that
+step: lower-casing, delimiter stripping, stop-word removal, digit removal
+(optional, since value extraction needs digits), and a synonym table that
+unifies the market's slang ("pp" -> "paypal", "btc" -> "bitcoin",
+"amazon gc" -> "amazon giftcard", ...).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List
+
+__all__ = ["normalize", "tokenize", "unify_synonyms", "STOPWORDS", "SYNONYMS"]
+
+#: Small stop-word list tuned for obligation snippets, not full prose.
+STOPWORDS = frozenset(
+    """a an and are as at be by for from i if in into is it my of on or our
+    so that the their them then they this to was we where which will with
+    you your am has have had want wants need needs get gets""".split()
+)
+
+#: Multi-word synonyms are replaced before tokenisation (longest first).
+SYNONYMS: Dict[str, str] = {
+    # payment slang
+    "pp": "paypal",
+    "pay pal": "paypal",
+    "btc": "bitcoin",
+    "xbt": "bitcoin",
+    "eth": "ethereum",
+    "bch": "bitcoin cash",
+    "ltc": "litecoin",
+    "xmr": "monero",
+    "amazon gc": "amazon giftcard",
+    "amazon gift card": "amazon giftcard",
+    "amazon giftcards": "amazon giftcard",
+    "cash app": "cashapp",
+    "v bucks": "vbucks",
+    "v-bucks": "vbucks",
+    "apple pay": "applepay",
+    "google pay": "googlepay",
+    # goods slang
+    "acct": "account",
+    "accts": "accounts",
+    "hq": "high quality",
+    "yt": "youtube",
+    "ig": "instagram",
+    "fb": "facebook",
+    "hf": "hackforums",
+    "gfx": "graphics",
+    "vouch copies": "vouch copy",
+    "gift cards": "giftcards",
+    "gift card": "giftcard",
+}
+
+_DELIMITERS = re.compile(r"[\\/,;:!?\(\)\[\]\{\}<>\"'`|+*=~^%&#@_-]+")
+_WHITESPACE = re.compile(r"\s+")
+_DIGITS = re.compile(r"\d+(?:\.\d+)?")
+
+# Longest synonyms first so "amazon gift card" wins over "gift card".
+_SYNONYM_PATTERNS = [
+    (re.compile(r"\b" + re.escape(key) + r"\b"), value)
+    for key, value in sorted(SYNONYMS.items(), key=lambda kv: -len(kv[0]))
+]
+
+
+def unify_synonyms(text: str) -> str:
+    """Replace known slang/synonyms with canonical forms (input lowercased)."""
+    result = text.lower()
+    for pattern, replacement in _SYNONYM_PATTERNS:
+        result = pattern.sub(replacement, result)
+    return result
+
+
+def normalize(text: str, strip_digits: bool = False) -> str:
+    """Normalise an obligation snippet for categorisation.
+
+    Lower-cases, unifies synonyms, strips delimiters, optionally removes
+    digits, collapses whitespace and drops stop-words.  Digits are kept by
+    default because value extraction runs on the same normalised text.
+    """
+    result = unify_synonyms(text)
+    result = _DELIMITERS.sub(" ", result)
+    if strip_digits:
+        result = _DIGITS.sub(" ", result)
+    tokens = [t for t in _WHITESPACE.split(result) if t and t not in STOPWORDS]
+    return " ".join(tokens)
+
+
+def tokenize(text: str, strip_digits: bool = True) -> List[str]:
+    """Normalise then split into tokens."""
+    cleaned = normalize(text, strip_digits=strip_digits)
+    return cleaned.split() if cleaned else []

@@ -1,0 +1,33 @@
+"""Shared fixtures: small synthetic markets reused across the test suite.
+
+Simulations are session-scoped — they are deterministic (fixed seeds), and
+most tests only read from them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import SimulationConfig, MarketSimulator
+
+
+@pytest.fixture(scope="session")
+def sim_small():
+    """A ~2% scale market (~4k contracts): enough for aggregate shape."""
+    return MarketSimulator(SimulationConfig(scale=0.02, seed=123)).run()
+
+
+@pytest.fixture(scope="session")
+def sim_tiny():
+    """A ~0.8% scale market: for expensive statistical pipelines."""
+    return MarketSimulator(SimulationConfig(scale=0.008, seed=321)).run()
+
+
+@pytest.fixture(scope="session")
+def dataset(sim_small):
+    return sim_small.dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(sim_tiny):
+    return sim_tiny.dataset

@@ -1,0 +1,77 @@
+"""Tests for the dispute analysis."""
+
+import pytest
+
+from repro.analysis.disputes import (
+    dispute_rate_by_era,
+    dispute_rate_by_month,
+    dispute_summary,
+    disputed_goods,
+    disputes_per_user,
+)
+from repro.core import ContractStatus, Month
+
+
+class TestDisputeRates:
+    def test_monthly_rates_bounded(self, dataset):
+        rates = dispute_rate_by_month(dataset)
+        assert rates
+        for rate in rates.values():
+            assert 0.0 <= rate < 0.10
+
+    def test_overall_rate_near_one_percent(self, dataset):
+        summary = dispute_summary(dataset)
+        assert 0.003 < summary.overall_rate < 0.03
+
+    def test_setup_storming_peak(self, dataset):
+        # dispute modifier peaks 2-3x in late SET-UP
+        rates = dispute_rate_by_month(dataset)
+        late_setup = [
+            rates.get(Month(2018, 11), 0), rates.get(Month(2018, 12), 0),
+            rates.get(Month(2019, 1), 0), rates.get(Month(2019, 2), 0),
+        ]
+        stable = [
+            rates.get(Month(2019, 6), 0), rates.get(Month(2019, 7), 0),
+            rates.get(Month(2019, 8), 0), rates.get(Month(2019, 9), 0),
+        ]
+        assert sum(late_setup) / 4 > sum(stable) / 4
+
+    def test_era_rates(self, dataset):
+        by_era = dispute_rate_by_era(dataset)
+        assert set(by_era) == {"SET-UP", "STABLE", "COVID-19"}
+        assert by_era["SET-UP"] > by_era["STABLE"]
+
+
+class TestDisputeUsers:
+    def test_counts_match_contracts(self, dataset):
+        per_user = disputes_per_user(dataset)
+        disputed = sum(
+            1 for c in dataset.contracts if c.status == ContractStatus.DISPUTED
+        )
+        assert sum(per_user.values()) == 2 * disputed
+
+    def test_most_users_single_dispute(self, dataset):
+        summary = dispute_summary(dataset)
+        assert summary.users_with_one_dispute_share > 0.5
+
+    def test_summary_consistency(self, dataset):
+        summary = dispute_summary(dataset)
+        assert summary.total_disputes == sum(
+            1 for c in dataset.contracts if c.status == ContractStatus.DISPUTED
+        )
+        assert summary.max_disputes_one_user >= 1
+        assert summary.peak_month is not None
+        assert summary.peak_rate >= summary.overall_rate
+
+
+class TestDisputedGoods:
+    def test_categories_ranked(self, dataset):
+        goods = disputed_goods(dataset)
+        assert goods
+        counts = [count for _, count in goods]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_currency_exchange_prominent(self, dataset):
+        # the paper: most disputed transactions exchange Bitcoin
+        goods = dict(disputed_goods(dataset))
+        assert goods.get("currency_exchange", 0) >= max(goods.values()) * 0.5

@@ -1,0 +1,84 @@
+"""Tests for era profiles and the stimulus-vs-transformation test."""
+
+import pytest
+
+from repro.analysis.eras_summary import (
+    composition_distance,
+    era_profile,
+    era_profiles,
+    stimulus_test,
+)
+from repro.core import COVID19, ContractType, SETUP, STABLE
+
+
+class TestEraProfiles:
+    def test_three_profiles(self, dataset):
+        profiles = era_profiles(dataset)
+        assert [p.short for p in profiles] == ["E1", "E2", "E3"]
+
+    def test_contract_totals_match(self, dataset):
+        profiles = era_profiles(dataset)
+        assert sum(p.contracts for p in profiles) == len(dataset.contracts)
+
+    def test_type_shares_sum_to_one(self, dataset):
+        for profile in era_profiles(dataset):
+            assert sum(profile.type_shares.values()) == pytest.approx(1.0)
+
+    def test_new_members_accounting(self, dataset):
+        profiles = era_profiles(dataset)
+        # E1 members are all new; later eras include returning members
+        assert profiles[0].new_members == profiles[0].members
+        assert profiles[1].new_members < profiles[1].members + 1
+        total_new = sum(p.new_members for p in profiles)
+        assert total_new == len(dataset.participant_ids())
+
+    def test_monthly_rate_jump_into_stable(self, dataset):
+        profiles = {p.short: p for p in era_profiles(dataset)}
+        assert profiles["E2"].contracts_per_month > 1.8 * profiles["E1"].contracts_per_month
+
+    def test_public_share_declines(self, dataset):
+        profiles = era_profiles(dataset)
+        assert profiles[0].public_share > profiles[1].public_share > 0
+
+
+class TestCompositionDistance:
+    def test_identity_is_zero(self, dataset):
+        assert composition_distance(dataset, STABLE, STABLE) == pytest.approx(0.0)
+
+    def test_symmetry(self, dataset):
+        forward = composition_distance(dataset, SETUP, STABLE)
+        backward = composition_distance(dataset, STABLE, SETUP)
+        assert forward == pytest.approx(backward)
+
+    def test_setup_to_stable_is_the_big_shift(self, dataset):
+        shift = composition_distance(dataset, SETUP, STABLE)
+        covid = composition_distance(dataset, STABLE, COVID19)
+        assert shift > covid + 0.05
+
+    def test_bounded(self, dataset):
+        for era_a in (SETUP, STABLE):
+            for era_b in (STABLE, COVID19):
+                d = composition_distance(dataset, era_a, era_b)
+                assert 0.0 <= d <= 1.0
+
+    def test_category_mode(self, dataset):
+        d = composition_distance(dataset, STABLE, COVID19, by="category")
+        assert 0.0 <= d <= 1.0
+
+    def test_invalid_mode(self, dataset):
+        with pytest.raises(ValueError):
+            composition_distance(dataset, SETUP, STABLE, by="colour")
+
+
+class TestStimulusTest:
+    def test_covid_is_stimulus_not_transformation(self, dataset):
+        outcome = stimulus_test(dataset)
+        assert outcome.volume_ratio > 1.05
+        assert outcome.type_drift < 0.12
+        assert outcome.is_stimulus
+        assert not outcome.is_transformation
+
+    def test_chi2_fields_valid(self, dataset):
+        outcome = stimulus_test(dataset)
+        assert outcome.chi2_statistic >= 0.0
+        assert 0.0 <= outcome.chi2_p_value <= 1.0

@@ -1,0 +1,179 @@
+"""Tests for the latent class / transition analysis (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latent import (
+    FEATURE_NAMES,
+    class_activity_series,
+    fit_latent_classes,
+    top_flows,
+    user_month_profiles,
+)
+from repro.core import ContractType
+
+
+@pytest.fixture(scope="module")
+def model(tiny_dataset):
+    return fit_latent_classes(tiny_dataset, k=8, seed=3, n_init=2)
+
+
+class TestUserMonthProfiles:
+    def test_panel_covers_all_months(self, tiny_dataset):
+        panel, months = user_month_profiles(tiny_dataset)
+        assert len(panel) == len(months) == 25
+
+    def test_counts_match_contracts(self, tiny_dataset):
+        panel, months = user_month_profiles(tiny_dataset)
+        total = sum(
+            vector.sum() for period in panel for vector in period.values()
+        )
+        # each contract contributes one make + one take
+        assert total == 2 * len(tiny_dataset.contracts)
+
+    def test_vector_length(self, tiny_dataset):
+        panel, _ = user_month_profiles(tiny_dataset)
+        some_vector = next(iter(panel[0].values()))
+        assert len(some_vector) == len(FEATURE_NAMES) == 10
+
+    def test_only_active_users_in_period(self, tiny_dataset):
+        panel, months = user_month_profiles(tiny_dataset)
+        for period in panel:
+            for vector in period.values():
+                assert vector.sum() >= 1
+
+
+class TestFitLatentClasses:
+    def test_class_count(self, model):
+        assert model.k == 8
+
+    def test_table6_rows(self, model):
+        rows = model.table6()
+        assert len(rows) == 8
+        for class_id, rates, label in rows:
+            assert len(rates) == 10
+            assert all(r >= 0 for r in rates)
+            assert label
+
+    def test_labels_include_paper_archetypes(self, model):
+        labels = " ".join(model.class_labels).lower()
+        assert "sale" in labels
+        assert "exchanger" in labels
+
+    def test_single_sale_maker_class_recovered(self, model):
+        # Some class must look like C: ~1 SALE made, nothing else.
+        sale_make = FEATURE_NAMES.index("make_SALE")
+        for rates in model.mixture.rates:
+            others = rates.sum() - rates[sale_make]
+            if 0.5 < rates[sale_make] < 3.0 and others < 0.5:
+                return
+        pytest.fail("no single-SALE-maker class recovered")
+
+    def test_power_taker_class_recovered(self, model):
+        # a clear SALE-taker hub class (singles sit near 1/month); the
+        # tiny fixture dilutes hub rates, hence the modest threshold
+        take_sale = FEATURE_NAMES.index("take_SALE")
+        assert model.mixture.rates[:, take_sale].max() > 6
+
+    def test_assignments_for_month(self, model, tiny_dataset):
+        month = model.months[10]
+        assignment = model.assignment_for(month)
+        assert assignment
+        assert all(0 <= c < model.k for c in assignment.values())
+
+    def test_assignment_for_unknown_month(self, model):
+        from repro.core import Month
+
+        assert model.assignment_for(Month(2025, 1)) == {}
+
+    def test_selection_mode(self, tiny_dataset):
+        selected = fit_latent_classes(
+            tiny_dataset, select=True, k_range=(2, 4), seed=0, n_init=1
+        )
+        assert 2 <= selected.k <= 4
+        assert selected.bic_by_k
+
+
+class TestClassActivitySeries:
+    def test_made_series_totals(self, model, tiny_dataset):
+        series = class_activity_series(tiny_dataset, model, role="made")
+        for ctype in (ContractType.EXCHANGE, ContractType.PURCHASE, ContractType.SALE):
+            total = sum(
+                count
+                for by_class in series[ctype].values()
+                for count in by_class.values()
+            )
+            expected = sum(1 for c in tiny_dataset.contracts if c.ctype == ctype)
+            assert total == expected
+
+    def test_accepted_series_totals(self, model, tiny_dataset):
+        series = class_activity_series(tiny_dataset, model, role="accepted")
+        total = sum(
+            count
+            for by_type in series.values()
+            for by_class in by_type.values()
+            for count in by_class.values()
+        )
+        expected = sum(
+            1
+            for c in tiny_dataset.contracts
+            if c.ctype in (ContractType.EXCHANGE, ContractType.PURCHASE, ContractType.SALE)
+        )
+        assert total == expected
+
+    def test_invalid_role(self, model, tiny_dataset):
+        with pytest.raises(ValueError):
+            class_activity_series(tiny_dataset, model, role="stolen")
+
+
+class TestTopFlows:
+    def test_three_per_type_per_era(self, model, tiny_dataset):
+        flows = top_flows(tiny_dataset, model)
+        # up to 3 flows x 3 types x 3 eras
+        assert len(flows) <= 27
+        assert len(flows) >= 9
+
+    def test_shares_bounded(self, model, tiny_dataset):
+        for flow in top_flows(tiny_dataset, model):
+            assert 0.0 < flow.share_of_type <= 1.0
+            assert flow.avg_per_month > 0
+
+    def test_sorted_within_group(self, model, tiny_dataset):
+        flows = top_flows(tiny_dataset, model)
+        by_group = {}
+        for flow in flows:
+            by_group.setdefault((flow.era, flow.ctype), []).append(flow.total)
+        for totals in by_group.values():
+            assert totals == sorted(totals, reverse=True)
+
+    def test_sale_flow_concentrated_in_stable(self, model, tiny_dataset):
+        # Paper Table 8: the top STABLE SALE flow covers ~47% of SALEs.
+        flows = top_flows(tiny_dataset, model)
+        stable_sale = [
+            f for f in flows if f.era == "STABLE" and f.ctype == ContractType.SALE
+        ]
+        assert stable_sale[0].share_of_type > 0.15
+
+
+class TestEraTransitions:
+    def test_one_matrix_per_era(self, model):
+        from repro.analysis.latent import era_transition_matrices
+
+        matrices = era_transition_matrices(model)
+        assert set(matrices) == {"SET-UP", "STABLE", "COVID-19"}
+
+    def test_rows_stochastic(self, model):
+        import numpy as np
+
+        from repro.analysis.latent import era_transition_matrices
+
+        for matrix in era_transition_matrices(model).values():
+            assert matrix.shape == (model.k, model.k)
+            assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_probabilities_bounded(self, model):
+        from repro.analysis.latent import era_transition_matrices
+
+        for matrix in era_transition_matrices(model).values():
+            assert (matrix >= 0).all()
+            assert (matrix <= 1).all()

@@ -1,0 +1,79 @@
+"""Tests for the reputation / trust-infrastructure analysis."""
+
+import pytest
+
+from repro.analysis.reputation import (
+    cohort_reputation_trajectories,
+    reputation_concentration_by_month,
+    reputation_premium_by_era,
+)
+from repro.core import Month
+
+
+class TestConcentration:
+    def test_months_present_and_sorted(self, dataset):
+        series = reputation_concentration_by_month(dataset)
+        months = list(series)
+        assert months == sorted(months)
+        assert len(months) >= 20
+
+    def test_gini_and_share_bounded(self, dataset):
+        for gini_value, share in reputation_concentration_by_month(dataset).values():
+            assert 0.0 <= gini_value < 1.0
+            assert 0.0 < share <= 1.0
+
+    def test_concentration_grows_over_time(self, dataset):
+        """The trust record concentrates around the core (§6)."""
+        series = reputation_concentration_by_month(dataset)
+        months = list(series)
+        early = series[months[2]][1]   # top-5% share early on
+        late = series[months[-1]][1]
+        assert late > early * 0.9  # never collapses; typically grows
+
+
+class TestCohorts:
+    def test_three_cohorts(self, dataset):
+        trajectories = cohort_reputation_trajectories(dataset)
+        assert set(trajectories) == {"SET-UP", "STABLE", "COVID-19"}
+
+    def test_cohort_starts_in_own_era(self, dataset):
+        trajectories = cohort_reputation_trajectories(dataset)
+        stable_months = list(trajectories["STABLE"])
+        assert min(stable_months) >= Month(2019, 3)
+
+    def test_medians_non_negative_mostly(self, dataset):
+        trajectories = cohort_reputation_trajectories(dataset)
+        for series in trajectories.values():
+            assert all(value >= -5 for value in series.values())
+
+    def test_setup_cohort_ends_ahead(self, dataset):
+        """Incumbents keep their head start (power-users accrue trust)."""
+        trajectories = cohort_reputation_trajectories(dataset)
+        last = Month(2020, 6)
+        setup_end = trajectories["SET-UP"].get(last, 0.0)
+        covid_end = trajectories["COVID-19"].get(last, 0.0)
+        assert setup_end >= covid_end
+
+
+class TestPremium:
+    def test_all_eras_measured(self, dataset):
+        premiums = reputation_premium_by_era(dataset)
+        assert set(premiums) == {"SET-UP", "STABLE", "COVID-19"}
+
+    def test_premium_values_sensible(self, dataset):
+        """The premium is a diagnostic, not a directional claim: hub
+        takers (huge reputation) dominate both completed AND failed SALE
+        volume, so the sign varies; the statistic itself must be finite
+        and grow with the reputation stock over the eras."""
+        premiums = reputation_premium_by_era(dataset)
+        for p in premiums.values():
+            assert p.completed_mean >= 0
+            assert p.failed_mean >= 0
+        assert (
+            premiums["COVID-19"].completed_mean > premiums["SET-UP"].completed_mean
+        )
+
+    def test_counts_positive(self, dataset):
+        for premium in reputation_premium_by_era(dataset).values():
+            assert premium.n_completed > 0
+            assert premium.n_failed > 0

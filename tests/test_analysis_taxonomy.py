@@ -1,0 +1,84 @@
+"""Tests for Tables 1 and 2 (taxonomy and visibility)."""
+
+import pytest
+
+from repro.analysis.taxonomy import (
+    STATUS_ORDER,
+    TYPE_ORDER,
+    contract_taxonomy,
+    visibility_table,
+)
+from repro.core import ContractStatus, ContractType, Visibility
+
+
+class TestContractTaxonomy:
+    def test_total_matches_dataset(self, dataset):
+        table = contract_taxonomy(dataset)
+        assert table.total == len(dataset.contracts)
+
+    def test_cells_sum_to_total(self, dataset):
+        table = contract_taxonomy(dataset)
+        cell_sum = sum(
+            table.cell(ctype, status)
+            for ctype in TYPE_ORDER
+            for status in STATUS_ORDER
+        )
+        assert cell_sum == table.total
+
+    def test_row_shares_sum_to_one(self, dataset):
+        table = contract_taxonomy(dataset)
+        assert sum(table.row_share(t) for t in TYPE_ORDER) == pytest.approx(1.0)
+
+    def test_column_totals(self, dataset):
+        table = contract_taxonomy(dataset)
+        completed = table.column_total(ContractStatus.COMPLETE)
+        assert completed == len(dataset.completed())
+
+    def test_sale_dominates(self, dataset):
+        table = contract_taxonomy(dataset)
+        assert table.row_share(ContractType.SALE) > 0.55
+
+    def test_sale_highest_non_completion(self, dataset):
+        table = contract_taxonomy(dataset)
+        sale_fail = table.non_completion_rate(ContractType.SALE)
+        exchange_fail = table.non_completion_rate(ContractType.EXCHANGE)
+        assert sale_fail > exchange_fail + 0.2
+
+    def test_empty_dataset(self):
+        from repro.core import MarketDataset
+
+        table = contract_taxonomy(MarketDataset())
+        assert table.total == 0
+        assert table.row_share(ContractType.SALE) == 0.0
+
+
+class TestVisibilityTable:
+    def test_created_totals_match(self, dataset):
+        table = visibility_table(dataset)
+        total = sum(table.created_total(t) for t in TYPE_ORDER)
+        assert total == len(dataset.contracts)
+
+    def test_completed_totals_match(self, dataset):
+        table = visibility_table(dataset)
+        total = sum(table.completed_total(t) for t in TYPE_ORDER)
+        assert total == len(dataset.completed())
+
+    def test_public_share_created_near_paper(self, dataset):
+        table = visibility_table(dataset)
+        assert table.overall_public_share() == pytest.approx(0.12, abs=0.06)
+
+    def test_completed_public_share_higher(self, dataset):
+        table = visibility_table(dataset)
+        assert table.overall_public_share(completed=True) > table.overall_public_share()
+
+    def test_public_completion_rate_higher(self, dataset):
+        table = visibility_table(dataset)
+        public_rate = table.completion_rate_by_visibility(Visibility.PUBLIC)
+        private_rate = table.completion_rate_by_visibility(Visibility.PRIVATE)
+        assert public_rate > private_rate
+
+    def test_per_type_shares_within_unit(self, dataset):
+        table = visibility_table(dataset)
+        for ctype in TYPE_ORDER:
+            assert 0.0 <= table.public_share_created(ctype) <= 1.0
+            assert 0.0 <= table.public_share_completed(ctype) <= 1.0

@@ -1,0 +1,53 @@
+"""Tests for the thread/post analysis (§3)."""
+
+import pytest
+
+from repro.analysis.threads import (
+    contracts_per_thread,
+    posting_members_by_month,
+    posts_per_thread,
+    thread_stats,
+)
+
+
+class TestThreadStats:
+    def test_link_share_near_paper(self, dataset):
+        stats = thread_stats(dataset)
+        # the simulator links ~68.4% of public contracts to a thread
+        assert stats.thread_link_share_public == pytest.approx(0.684, abs=0.06)
+
+    def test_all_contract_link_share_small(self, dataset):
+        stats = thread_stats(dataset)
+        assert 0.02 < stats.thread_link_share_all < 0.2
+
+    def test_counts_consistent(self, dataset):
+        stats = thread_stats(dataset)
+        assert stats.n_threads == len(dataset.threads)
+        assert stats.n_posts == len(dataset.posts)
+        assert stats.public_with_thread <= stats.public_contracts
+
+    def test_thread_concentration(self, dataset):
+        stats = thread_stats(dataset)
+        assert stats.top10pct_thread_contract_share > 0.15
+        assert 0.0 <= stats.thread_contract_gini < 1.0
+
+    def test_posting_members_positive(self, dataset):
+        stats = thread_stats(dataset)
+        assert stats.n_posting_members > 0
+        assert stats.posts_per_thread_mean > 0
+
+
+class TestPerThreadCounts:
+    def test_contracts_per_thread_sum(self, dataset):
+        per_thread = contracts_per_thread(dataset)
+        linked = sum(1 for c in dataset.contracts if c.thread_id is not None)
+        assert sum(per_thread.values()) == linked
+
+    def test_posts_per_thread_sum(self, dataset):
+        per_thread = posts_per_thread(dataset)
+        assert sum(per_thread.values()) == len(dataset.posts)
+
+    def test_posting_members_by_month(self, dataset):
+        by_month = posting_members_by_month(dataset)
+        assert len(by_month) >= 24
+        assert all(count > 0 for count in by_month.values())

@@ -1,0 +1,179 @@
+"""Tests for the simulated ledger, rate oracle and verification."""
+
+import datetime as dt
+
+import pytest
+
+from repro.blockchain import (
+    ChainTransaction,
+    Ledger,
+    RateOracle,
+    Verdict,
+    make_address,
+    make_txhash,
+    verify_contract_value,
+    verify_high_value_contracts,
+)
+from repro.core import Contract, ContractStatus, ContractType, Visibility
+
+NOW = dt.datetime(2019, 6, 15, 12, 0)
+
+
+def btc_contract(cid=1, address=None, txhash=None, completed=NOW):
+    return Contract(
+        contract_id=cid,
+        ctype=ContractType.EXCHANGE,
+        status=ContractStatus.COMPLETE,
+        visibility=Visibility.PUBLIC,
+        maker_id=1,
+        taker_id=2,
+        created_at=NOW - dt.timedelta(hours=20),
+        completed_at=completed,
+        btc_address=address,
+        btc_txhash=txhash,
+    )
+
+
+class TestRateOracle:
+    def test_usd_is_identity(self):
+        oracle = RateOracle()
+        assert oracle.usd_per_unit("USD", NOW.date()) == 1.0
+
+    def test_btc_in_sane_range(self):
+        oracle = RateOracle()
+        for day in (dt.date(2018, 6, 15), dt.date(2018, 12, 15), dt.date(2020, 3, 20)):
+            rate = oracle.usd_per_unit("BTC", day)
+            assert 3000 < rate < 12000
+
+    def test_btc_december_2018_crash(self):
+        oracle = RateOracle()
+        summer = oracle.usd_per_unit("BTC", dt.date(2018, 7, 15))
+        winter = oracle.usd_per_unit("BTC", dt.date(2018, 12, 25))
+        assert winter < summer * 0.65
+
+    def test_deterministic(self):
+        a = RateOracle().usd_per_unit("BTC", NOW.date())
+        b = RateOracle().usd_per_unit("BTC", NOW.date())
+        assert a == b
+
+    def test_roundtrip_conversion(self):
+        oracle = RateOracle()
+        usd = 250.0
+        btc = oracle.from_usd(usd, "BTC", NOW.date())
+        back = oracle.to_usd(btc, "BTC", NOW.date())
+        assert back == pytest.approx(usd)
+
+    def test_fiat_rates_near_base(self):
+        oracle = RateOracle()
+        assert oracle.usd_per_unit("GBP", NOW.date()) == pytest.approx(1.29, rel=0.05)
+        assert oracle.usd_per_unit("EUR", NOW.date()) == pytest.approx(1.13, rel=0.05)
+
+    def test_unknown_currency_raises(self):
+        with pytest.raises(KeyError):
+            RateOracle().usd_per_unit("DOGE", NOW.date())
+
+    def test_supported_list(self):
+        supported = RateOracle().supported()
+        assert "BTC" in supported and "USD" in supported and "JPY" in supported
+
+
+class TestLedger:
+    def test_add_and_lookup(self):
+        ledger = Ledger()
+        tx = ledger.record(1, make_address(1), NOW, 0.05)
+        assert ledger.lookup(tx.txhash) is tx
+        assert ledger.lookup("deadbeef") is None
+        assert len(ledger) == 1
+
+    def test_duplicate_hash_rejected(self):
+        ledger = Ledger()
+        ledger.record(1, make_address(1), NOW, 0.05)
+        with pytest.raises(ValueError):
+            ledger.record(1, make_address(2), NOW, 0.01)
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            ChainTransaction("h", "a", NOW, -1.0)
+
+    def test_address_time_window(self):
+        ledger = Ledger()
+        address = make_address(9)
+        ledger.record(1, address, NOW, 0.1)
+        ledger.record(2, address, NOW + dt.timedelta(days=10), 0.2)
+        near = ledger.for_address(address, around=NOW)
+        assert len(near) == 1
+        everything = ledger.for_address(address)
+        assert len(everything) == 2
+
+    def test_address_determinism(self):
+        assert make_address(42) == make_address(42)
+        assert make_txhash(42) == make_txhash(42)
+        assert make_address(1) != make_address(2)
+
+    def test_iteration(self):
+        ledger = Ledger()
+        ledger.record(1, make_address(1), NOW, 0.1)
+        ledger.record(2, make_address(2), NOW, 0.2)
+        assert len(list(ledger)) == 2
+
+
+class TestVerification:
+    def setup_method(self):
+        self.oracle = RateOracle()
+        self.ledger = Ledger()
+
+    def _record_usd(self, seed, address, usd, when=NOW):
+        btc = self.oracle.from_usd(usd, "BTC", when.date())
+        return self.ledger.record(seed, address, when, btc)
+
+    def test_confirmed_by_hash(self):
+        address = make_address(1)
+        tx = self._record_usd(1, address, 2000.0)
+        contract = btc_contract(address=address, txhash=tx.txhash)
+        result = verify_contract_value(contract, 2000.0, self.ledger, self.oracle)
+        assert result.verdict == Verdict.CONFIRMED
+        assert result.corrected_usd == 2000.0
+
+    def test_different_value_detected(self):
+        address = make_address(2)
+        tx = self._record_usd(2, address, 400.0)
+        contract = btc_contract(address=address, txhash=tx.txhash)
+        result = verify_contract_value(contract, 2000.0, self.ledger, self.oracle)
+        assert result.verdict == Verdict.DIFFERENT
+        assert result.corrected_usd == pytest.approx(400.0, rel=0.01)
+
+    def test_unconfirmed_without_refs(self):
+        contract = btc_contract()
+        result = verify_contract_value(contract, 2000.0, self.ledger, self.oracle)
+        assert result.verdict == Verdict.UNCONFIRMED
+        assert result.corrected_usd == 2000.0
+
+    def test_address_fallback_when_hash_unknown(self):
+        address = make_address(3)
+        self._record_usd(3, address, 1500.0)
+        contract = btc_contract(address=address, txhash=make_txhash(99))
+        result = verify_contract_value(contract, 1500.0, self.ledger, self.oracle)
+        assert result.verdict == Verdict.CONFIRMED
+
+    def test_high_value_pipeline_threshold(self):
+        pairs = [
+            (btc_contract(cid=1), 500.0),     # below threshold: skipped
+            (btc_contract(cid=2), 1500.0),    # above, unconfirmed
+        ]
+        results, summary = verify_high_value_contracts(pairs, self.ledger, self.oracle)
+        assert summary.total == 1
+        assert summary.unconfirmed == 1
+        assert summary.unconfirmed_share == 1.0
+
+    def test_summary_shares_sum_to_one(self):
+        address = make_address(4)
+        tx = self._record_usd(4, address, 3000.0)
+        pairs = [
+            (btc_contract(cid=1, address=address, txhash=tx.txhash), 3000.0),
+            (btc_contract(cid=2), 2000.0),
+        ]
+        _, summary = verify_high_value_contracts(pairs, self.ledger, self.oracle)
+        total_share = (
+            summary.confirmed_share + summary.different_share + summary.unconfirmed_share
+        )
+        assert total_share == pytest.approx(1.0)

@@ -1,0 +1,148 @@
+"""Tests for CSV export, bootstrap CIs, counterfactual scenarios and the
+maker/taker participation stats."""
+
+import csv
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.makers_takers import maker_taker_report, participation_stats
+from repro.core import CSV_FILES, export_csv
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_gini, bootstrap_top_share
+from repro.synth import (
+    MarketSimulator,
+    flat_market_scenario,
+    no_covid_scenario,
+    no_mandate_scenario,
+)
+from repro.core.timeutils import Month
+
+
+class TestCsvExport:
+    def test_all_files_written(self, tmp_path, dataset):
+        paths = export_csv(dataset, str(tmp_path))
+        assert len(paths) == 5
+        for name in CSV_FILES:
+            assert os.path.exists(os.path.join(str(tmp_path), name))
+
+    def test_contract_rows_match(self, tmp_path, dataset):
+        export_csv(dataset, str(tmp_path))
+        with open(os.path.join(str(tmp_path), "contracts.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(dataset.contracts)
+        first = rows[0]
+        assert first["type"] in {"sale", "purchase", "exchange", "trade", "vouch_copy"}
+        assert first["maker_id"].isdigit()
+
+    def test_ratings_roundtrip_counts(self, tmp_path, dataset):
+        export_csv(dataset, str(tmp_path))
+        with open(os.path.join(str(tmp_path), "ratings.csv")) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) - 1 == len(dataset.ratings)
+
+
+class TestBootstrap:
+    def test_ci_brackets_estimate(self):
+        rng = np.random.default_rng(0)
+        values = rng.pareto(2.0, size=400) + 1
+        result = bootstrap_gini(values, n_resamples=300)
+        assert result.low <= result.estimate <= result.high
+        assert 0 < result.width < 0.5
+
+    def test_ci_narrows_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_gini(rng.exponential(1, 50), n_resamples=300)
+        large = bootstrap_gini(rng.exponential(1, 5000), n_resamples=300)
+        assert large.width < small.width
+
+    def test_top_share_bootstrap(self):
+        values = list(range(1, 201))
+        result = bootstrap_top_share(values, 10.0, n_resamples=200)
+        assert 0.0 < result.low <= result.estimate <= result.high <= 1.0
+
+    def test_mean_recovery(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(5.0, 1.0, 800)
+        result = bootstrap_ci(values, np.mean, n_resamples=400)
+        assert result.low < 5.0 < result.high
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], np.mean)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], np.mean, confidence=0.3)
+
+    def test_deterministic_with_seed(self):
+        values = [1.0, 5.0, 2.0, 8.0, 3.0]
+        a = bootstrap_ci(values, np.mean, n_resamples=100, seed=7)
+        b = bootstrap_ci(values, np.mean, n_resamples=100, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+
+class TestScenarios:
+    def test_no_covid_removes_spike(self):
+        config = no_covid_scenario(scale=0.01, seed=4)
+        result = MarketSimulator(config).run()
+        by_month = result.dataset.contracts_by_created_month()
+        apr = len(by_month.get(Month(2020, 4), []))
+        feb = len(by_month.get(Month(2020, 2), []))
+        assert apr <= feb * 1.3  # no spike
+
+    def test_no_mandate_removes_jump(self):
+        config = no_mandate_scenario(scale=0.01, seed=4)
+        result = MarketSimulator(config).run()
+        by_month = result.dataset.contracts_by_created_month()
+        feb19 = len(by_month.get(Month(2019, 2), []))
+        mar19 = len(by_month.get(Month(2019, 3), []))
+        assert mar19 < feb19 * 1.6  # default config jumps ~2.7x
+
+    def test_flat_market_is_flat(self):
+        config = flat_market_scenario(scale=0.01, seed=4)
+        result = MarketSimulator(config).run()
+        by_month = result.dataset.contracts_by_created_month()
+        counts = [len(v) for v in by_month.values()]
+        assert max(counts) < 2.0 * min(counts)
+
+    def test_scenarios_return_valid_configs(self):
+        for factory in (no_covid_scenario, no_mandate_scenario, flat_market_scenario):
+            config = factory(scale=0.01)
+            assert config.scale == 0.01
+            assert config.created_per_month
+
+
+class TestParticipationStats:
+    def test_totals_match(self, dataset):
+        makers, takers = participation_stats(dataset)
+        assert makers.total_contracts == len(dataset.contracts)
+        assert takers.total_contracts == len(dataset.contracts)
+
+    def test_shares_bounded(self, dataset):
+        makers, takers = participation_stats(dataset)
+        for stats in (makers, takers):
+            total_share = (
+                stats.share_exactly_one + stats.share_exactly_two + stats.share_over_20
+            )
+            assert 0.0 < total_share <= 1.0
+
+    def test_most_makers_small(self, dataset):
+        makers, _ = participation_stats(dataset)
+        # the paper: 49% make one, 16% two
+        assert makers.share_exactly_one > 0.3
+        assert makers.share_over_20 < 0.15
+
+    def test_taker_tail_longer(self, dataset):
+        makers, takers = participation_stats(dataset)
+        assert takers.top_counts[0] > makers.top_counts[0]
+
+    def test_subset_restriction(self, dataset):
+        makers_all, _ = participation_stats(dataset)
+        makers_completed, _ = participation_stats(dataset, dataset.completed())
+        assert makers_completed.total_contracts < makers_all.total_contracts
+
+    def test_report_lines(self, dataset):
+        lines = maker_taker_report(dataset)
+        text = "\n".join(lines)
+        assert "makers" in text
+        assert "takers" in text
+        assert "tail is longer for takers" in text

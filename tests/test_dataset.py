@@ -1,0 +1,171 @@
+"""Unit tests for the MarketDataset container."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import (
+    Contract,
+    ContractStatus,
+    ContractType,
+    MarketDataset,
+    Month,
+    Post,
+    Rating,
+    SETUP,
+    STABLE,
+    Thread,
+    User,
+    Visibility,
+)
+
+T0 = dt.datetime(2018, 7, 1, 10, 0)
+
+
+def contract(cid, maker, taker, *, ctype=ContractType.SALE,
+             status=ContractStatus.COMPLETE, vis=Visibility.PRIVATE,
+             created=T0, completed=None):
+    return Contract(
+        contract_id=cid, ctype=ctype, status=status, visibility=vis,
+        maker_id=maker, taker_id=taker, created_at=created,
+        completed_at=completed,
+    )
+
+
+@pytest.fixture()
+def small_dataset():
+    users = [User(i, T0 - dt.timedelta(days=30)) for i in range(1, 6)]
+    contracts = [
+        contract(1, 1, 2, completed=T0 + dt.timedelta(hours=3)),
+        contract(2, 2, 3, status=ContractStatus.INCOMPLETE,
+                 created=dt.datetime(2019, 4, 1)),
+        contract(3, 1, 3, ctype=ContractType.EXCHANGE,
+                 status=ContractStatus.DISPUTED, vis=Visibility.PUBLIC,
+                 created=dt.datetime(2019, 4, 15)),
+        contract(4, 4, 5, ctype=ContractType.VOUCH_COPY,
+                 status=ContractStatus.COMPLETE,
+                 created=dt.datetime(2020, 4, 1),
+                 completed=dt.datetime(2020, 4, 2)),
+    ]
+    threads = [Thread(10, 1, T0)]
+    posts = [
+        Post(100, 10, 1, T0 + dt.timedelta(days=1)),
+        Post(101, 10, 2, T0 + dt.timedelta(days=2), is_marketplace=False),
+    ]
+    ratings = [Rating(1, 2, 1, 1, created_at=T0 + dt.timedelta(hours=4)),
+               Rating(1, 1, 2, -1, created_at=T0 + dt.timedelta(hours=4))]
+    return MarketDataset(users, contracts, threads, posts, ratings)
+
+
+class TestLookupsAndFilters:
+    def test_len_and_iter(self, small_dataset):
+        assert len(small_dataset) == 4
+        assert [c.contract_id for c in small_dataset] == [1, 2, 3, 4]
+
+    def test_contracts_sorted_by_creation(self, small_dataset):
+        created = [c.created_at for c in small_dataset.contracts]
+        assert created == sorted(created)
+
+    def test_user_lookup(self, small_dataset):
+        assert small_dataset.user(1).user_id == 1
+        assert small_dataset.has_user(5)
+        assert not small_dataset.has_user(99)
+        with pytest.raises(KeyError):
+            small_dataset.user(99)
+
+    def test_thread_and_contract_lookup(self, small_dataset):
+        assert small_dataset.thread(10).thread_id == 10
+        assert small_dataset.contract(3).ctype == ContractType.EXCHANGE
+
+    def test_completed_filter(self, small_dataset):
+        assert {c.contract_id for c in small_dataset.completed()} == {1, 4}
+
+    def test_public_filter(self, small_dataset):
+        assert {c.contract_id for c in small_dataset.public()} == {3}
+
+    def test_completed_public(self, small_dataset):
+        assert small_dataset.completed_public() == []
+
+    def test_of_type(self, small_dataset):
+        assert len(small_dataset.of_type(ContractType.SALE)) == 2
+
+    def test_economic_excludes_vouch(self, small_dataset):
+        assert {c.contract_id for c in small_dataset.economic()} == {1, 2, 3}
+
+    def test_in_era(self, small_dataset):
+        assert {c.contract_id for c in small_dataset.in_era(SETUP)} == {1}
+        assert {c.contract_id for c in small_dataset.in_era(STABLE)} == {2, 3}
+
+    def test_in_month(self, small_dataset):
+        assert {c.contract_id for c in small_dataset.in_month(Month(2019, 4))} == {2, 3}
+        assert small_dataset.in_month(Month(2019, 5)) == []
+
+    def test_in_month_by_completion(self, small_dataset):
+        found = small_dataset.in_month(Month(2020, 4), by_completion=True)
+        assert {c.contract_id for c in found} == {4}
+
+
+class TestIndexes:
+    def test_by_maker_taker(self, small_dataset):
+        assert {c.contract_id for c in small_dataset.contracts_by_maker()[1]} == {1, 3}
+        assert {c.contract_id for c in small_dataset.contracts_by_taker()[3]} == {2, 3}
+
+    def test_participants(self, small_dataset):
+        assert small_dataset.participant_ids() == {1, 2, 3, 4, 5}
+
+    def test_summary(self, small_dataset):
+        summary = small_dataset.summary()
+        assert summary["contracts"] == 4
+        assert summary["completed_contracts"] == 2
+        assert summary["public_contracts"] == 1
+        assert summary["participants"] == 5
+
+    def test_subset(self, small_dataset):
+        subset = small_dataset.subset(small_dataset.completed())
+        assert len(subset) == 2
+        assert len(subset.ratings) == 2  # ratings on contract 1 kept
+        assert len(subset.users) == 5    # users shared
+
+
+class TestUserActivity:
+    def test_counts(self, small_dataset):
+        activity = small_dataset.user_activity()
+        assert activity[1].initiated == 2
+        assert activity[1].completed == 1
+        assert activity[3].accepted == 2
+        assert activity[3].disputes == 1
+        assert activity[1].disputes == 1
+
+    def test_ratings_counted(self, small_dataset):
+        activity = small_dataset.user_activity()
+        assert activity[1].positive_ratings == 1
+        assert activity[2].negative_ratings == 1
+
+    def test_posts_counted(self, small_dataset):
+        activity = small_dataset.user_activity()
+        assert activity[1].marketplace_posts == 1
+        assert activity[2].marketplace_posts == 0
+        assert activity[2].total_posts == 1
+
+    def test_window_excludes_outside(self, small_dataset):
+        activity = small_dataset.user_activity(
+            start=dt.datetime(2019, 1, 1), end=dt.datetime(2019, 12, 31)
+        )
+        assert 4 not in activity  # only active in 2020
+        assert activity[1].initiated == 1  # only contract 3
+
+    def test_reputation(self, small_dataset):
+        activity = small_dataset.user_activity()
+        assert activity[1].reputation == 1
+        assert activity[2].reputation == -1
+
+    def test_length_days(self, small_dataset):
+        activity = small_dataset.user_activity()
+        as_of = dt.datetime(2018, 7, 10)
+        assert activity[1].length_days(as_of) > 0
+
+    def test_lifespan(self, small_dataset):
+        activity = small_dataset.user_activity()
+        assert activity[1].lifespan_days() > 0
+        # user 5 appears once: zero lifespan
+        assert activity[5].lifespan_days() == 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for the entity model."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.entities import (
+    BIDIRECTIONAL_TYPES,
+    ECONOMIC_TYPES,
+    TERMINAL_STATUSES,
+    Contract,
+    ContractStatus,
+    ContractType,
+    Rating,
+    User,
+    Visibility,
+)
+
+NOW = dt.datetime(2019, 5, 1, 12, 0)
+
+
+def make_contract(**overrides):
+    defaults = dict(
+        contract_id=1,
+        ctype=ContractType.SALE,
+        status=ContractStatus.COMPLETE,
+        visibility=Visibility.PUBLIC,
+        maker_id=1,
+        taker_id=2,
+        created_at=NOW,
+        completed_at=NOW + dt.timedelta(hours=5),
+    )
+    defaults.update(overrides)
+    return Contract(**defaults)
+
+
+class TestContractType:
+    def test_bidirectional_flags(self):
+        assert ContractType.EXCHANGE.bidirectional
+        assert ContractType.TRADE.bidirectional
+        assert not ContractType.SALE.bidirectional
+        assert not ContractType.PURCHASE.bidirectional
+        assert not ContractType.VOUCH_COPY.bidirectional
+
+    def test_bidirectional_set_matches(self):
+        assert BIDIRECTIONAL_TYPES == {ContractType.EXCHANGE, ContractType.TRADE}
+
+    def test_economic_types_exclude_vouch(self):
+        assert ContractType.VOUCH_COPY not in ECONOMIC_TYPES
+        assert len(ECONOMIC_TYPES) == 4
+
+
+class TestContract:
+    def test_same_party_rejected(self):
+        with pytest.raises(ValueError):
+            make_contract(maker_id=5, taker_id=5)
+
+    def test_completion_before_creation_rejected(self):
+        with pytest.raises(ValueError):
+            make_contract(completed_at=NOW - dt.timedelta(hours=1))
+
+    def test_disputed_must_be_public(self):
+        with pytest.raises(ValueError):
+            make_contract(
+                status=ContractStatus.DISPUTED,
+                visibility=Visibility.PRIVATE,
+                completed_at=None,
+            )
+
+    def test_disputed_public_allowed(self):
+        contract = make_contract(
+            status=ContractStatus.DISPUTED,
+            visibility=Visibility.PUBLIC,
+            completed_at=None,
+        )
+        assert contract.status == ContractStatus.DISPUTED
+
+    def test_completion_hours(self):
+        contract = make_contract()
+        assert contract.completion_hours == pytest.approx(5.0)
+
+    def test_completion_hours_none_when_undated(self):
+        contract = make_contract(completed_at=None)
+        assert contract.completion_hours is None
+
+    def test_is_economic(self):
+        assert make_contract().is_economic
+        assert not make_contract(ctype=ContractType.VOUCH_COPY).is_economic
+
+    def test_parties(self):
+        assert make_contract().parties() == (1, 2)
+
+    def test_terminal_statuses_exclude_active(self):
+        assert ContractStatus.ACTIVE_DEAL not in TERMINAL_STATUSES
+        assert ContractStatus.COMPLETE in TERMINAL_STATUSES
+
+
+class TestUserAndRating:
+    def test_negative_user_id_rejected(self):
+        with pytest.raises(ValueError):
+            User(user_id=-1, joined_forum_at=NOW)
+
+    def test_rating_score_validation(self):
+        with pytest.raises(ValueError):
+            Rating(contract_id=1, rater_id=1, ratee_id=2, score=0)
+        Rating(contract_id=1, rater_id=1, ratee_id=2, score=1)
+        Rating(contract_id=1, rater_id=1, ratee_id=2, score=-1)

@@ -1,0 +1,93 @@
+"""Unit tests for the era calendar."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.eras import (
+    COVID19,
+    DATA_END,
+    DATA_START,
+    ERAS,
+    SETUP,
+    STABLE,
+    all_months,
+    era_by_name,
+    era_of,
+)
+from repro.core.timeutils import Month
+
+
+class TestEraBoundaries:
+    def test_paper_dates(self):
+        assert SETUP.start == dt.date(2018, 6, 1)
+        assert SETUP.end == dt.date(2019, 2, 28)
+        assert STABLE.start == dt.date(2019, 3, 1)
+        assert STABLE.end == dt.date(2020, 3, 10)
+        assert COVID19.start == dt.date(2020, 3, 11)
+        assert COVID19.end == dt.date(2020, 6, 30)
+
+    def test_eras_are_contiguous(self):
+        for earlier, later in zip(ERAS, ERAS[1:]):
+            assert later.start == earlier.end + dt.timedelta(days=1)
+
+    def test_eras_cover_data_window(self):
+        assert ERAS[0].start == DATA_START
+        assert ERAS[-1].end == DATA_END
+
+    def test_era_of_boundaries(self):
+        assert era_of(dt.date(2019, 2, 28)) is SETUP
+        assert era_of(dt.date(2019, 3, 1)) is STABLE
+        assert era_of(dt.date(2020, 3, 10)) is STABLE
+        assert era_of(dt.date(2020, 3, 11)) is COVID19
+
+    def test_era_of_datetime(self):
+        assert era_of(dt.datetime(2020, 3, 10, 23, 59)) is STABLE
+        assert era_of(dt.datetime(2020, 3, 11, 0, 0)) is COVID19
+
+    def test_era_of_outside_window(self):
+        assert era_of(dt.date(2018, 5, 31)) is None
+        assert era_of(dt.date(2020, 7, 1)) is None
+
+    def test_march_2019_in_both_setup_and_stable_months(self):
+        # March months straddle boundaries and appear in the later era only
+        assert Month(2019, 3) in STABLE.months()
+        assert Month(2019, 3) not in SETUP.months()
+        assert Month(2020, 3) in STABLE.months()
+        assert Month(2020, 3) in COVID19.months()
+
+
+class TestEraLookups:
+    def test_by_full_name(self):
+        assert era_by_name("STABLE") is STABLE
+        assert era_by_name("SET-UP") is SETUP
+        assert era_by_name("COVID-19") is COVID19
+
+    def test_by_short_code(self):
+        assert era_by_name("E1") is SETUP
+        assert era_by_name("E2") is STABLE
+        assert era_by_name("E3") is COVID19
+
+    def test_case_and_hyphen_tolerance(self):
+        assert era_by_name("setup") is SETUP
+        assert era_by_name("covid-19") is COVID19
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            era_by_name("E4")
+
+    def test_all_months_grid(self):
+        months = all_months()
+        assert months[0] == Month(2018, 6)
+        assert months[-1] == Month(2020, 6)
+        assert len(months) == 25
+
+    def test_era_days(self):
+        assert SETUP.days == 273
+        assert COVID19.days == 112
+
+    def test_invalid_era_rejected(self):
+        from repro.core.eras import Era
+
+        with pytest.raises(ValueError):
+            Era("X", "EX", dt.date(2020, 1, 2), dt.date(2020, 1, 1))

@@ -1,0 +1,54 @@
+"""End-to-end tests of the experiment registry (every table and figure)."""
+
+import pytest
+
+from repro.report.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx(sim_tiny):
+    return ExperimentContext(sim_tiny, latent_k=8, seed=1)
+
+
+ALL_IDS = list(EXPERIMENTS)
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        tables = {f"table{i}" for i in range(1, 11)}
+        figures = {f"fig{i:02d}" for i in range(1, 14)}
+        assert tables <= set(EXPERIMENTS)
+        assert figures <= set(EXPERIMENTS)
+        assert "sec45" in EXPERIMENTS
+        assert "sec52" in EXPERIMENTS
+
+    def test_unknown_id_raises(self, ctx):
+        with pytest.raises(KeyError):
+            run_experiment("table99", ctx)
+
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_runs_and_produces_lines(self, ctx, experiment_id):
+        report = run_experiment(experiment_id, ctx)
+        assert report.experiment_id == experiment_id
+        assert report.title
+        assert len(report.lines) >= 1
+        assert all(isinstance(line, str) for line in report.lines)
+        assert report.data is not None
+
+    def test_text_rendering(self, ctx):
+        report = run_experiment("table1", ctx)
+        text = report.text()
+        assert report.title in text
+        assert "Sale" in text
+
+    def test_context_caches_latent_model(self, ctx):
+        first = ctx.latent_model()
+        second = ctx.latent_model()
+        assert first is second
+
+    def test_context_caches_values(self, ctx):
+        assert ctx.valued() is ctx.valued()

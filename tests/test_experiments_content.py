@@ -1,0 +1,148 @@
+"""Content-level checks on each registry artefact.
+
+test_experiments.py verifies every experiment *runs*; these tests pin the
+*content*: key labels, row structure and the data objects behind each
+reproduced table/figure, so a refactor that silently empties an artefact
+fails loudly.
+"""
+
+import pytest
+
+from repro.core import ContractType
+from repro.report.experiments import ExperimentContext, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ctx(sim_tiny):
+    return ExperimentContext(sim_tiny, latent_k=8, seed=1)
+
+
+def text_of(ctx, experiment_id):
+    return run_experiment(experiment_id, ctx).text()
+
+
+class TestTableContent:
+    def test_table1_rows_and_total(self, ctx):
+        text = text_of(ctx, "table1")
+        for label in ("Sale", "Purchase", "Exchange", "Trade", "Vouch_Copy", "Total"):
+            assert label in text
+        assert "(100.00%)" in text
+
+    def test_table2_created_and_completed_blocks(self, ctx):
+        text = text_of(ctx, "table2")
+        assert "Sale Created" in text
+        assert "Sale Completed" in text
+        assert "Private" in text and "Public" in text
+
+    def test_table3_currency_exchange_and_all_row(self, ctx):
+        text = text_of(ctx, "table3")
+        assert "currency exchange" in text
+        assert "All Trading Activities" in text
+
+    def test_table4_bitcoin_first(self, ctx):
+        report = run_experiment("table4", ctx)
+        first_method_line = report.lines[2]
+        assert "Bitcoin" in first_method_line
+
+    def test_table5_dollar_figures(self, ctx):
+        text = text_of(ctx, "table5")
+        assert "$" in text
+        assert "Value (Makers)" in text
+
+    def test_table6_class_rows(self, ctx):
+        report = run_experiment("table6", ctx)
+        model = report.data
+        assert model.k == 8
+        assert "Behaviour" in report.lines[0]
+
+    def test_table7_cluster_rows(self, ctx):
+        report = run_experiment("table7", ctx)
+        assert "stage-1 split" in report.lines[-1]
+
+    def test_table8_flow_arrows(self, ctx):
+        text = text_of(ctx, "table8")
+        assert "->" in text
+        for era in ("SET-UP", "STABLE", "COVID-19"):
+            assert era in text
+
+    def test_table9_components_reported(self, ctx):
+        text = text_of(ctx, "table9")
+        assert "Count model" in text
+        assert "Zero-inflation model" in text
+        assert "Vuong" in text
+        assert "McFadden" in text
+
+    def test_table10_subsamples(self, ctx):
+        text = text_of(ctx, "table10")
+        assert "first_time" in text
+        assert "existing" in text
+
+
+class TestFigureContent:
+    def test_fig01_series_labels(self, ctx):
+        text = text_of(ctx, "fig01")
+        assert "contracts created" in text
+        assert "new members (created)" in text
+
+    def test_fig03_both_blocks(self, ctx):
+        text = text_of(ctx, "fig03")
+        assert "Created:" in text
+        assert "Completed:" in text
+
+    def test_fig05_percentile_rows(self, ctx):
+        text = text_of(ctx, "fig05")
+        assert "5%" in text
+        assert "gini" in text.lower()
+
+    def test_fig07_degree_kinds(self, ctx):
+        text = text_of(ctx, "fig07")
+        for kind in ("raw", "inbound", "outbound"):
+            assert kind in text
+        assert "max degrees" in text
+
+    def test_fig11_three_value_blocks(self, ctx):
+        text = text_of(ctx, "fig11")
+        assert "by contract type" in text
+        assert "payment method" in text
+        assert "product category" in text
+
+    def test_fig12_fig13_differ(self, ctx):
+        made = run_experiment("fig12", ctx).data
+        accepted = run_experiment("fig13", ctx).data
+        # maker-side and taker-side class series must not be identical
+        assert made[ContractType.SALE] != accepted[ContractType.SALE]
+
+    def test_sparklines_present(self, ctx):
+        text = text_of(ctx, "fig02")
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+
+class TestNarrativeContent:
+    def test_sec45_headline(self, ctx):
+        text = text_of(ctx, "sec45")
+        assert "total public value" in text
+        assert "extrapolated" in text
+
+    def test_sec52_split(self, ctx):
+        text = text_of(ctx, "sec52")
+        assert "cold starters" in text
+        assert "median lifespan" in text
+
+    def test_disputes_peak(self, ctx):
+        text = text_of(ctx, "disputes")
+        assert "peak month" in text
+        assert "rate by era" in text
+
+    def test_eras_verdict(self, ctx):
+        text = text_of(ctx, "eras")
+        assert "verdict" in text
+
+    def test_funnel_stages(self, ctx):
+        text = text_of(ctx, "funnel")
+        assert "proposed" in text
+        assert "accepted" in text
+
+    def test_trust_concentration(self, ctx):
+        text = text_of(ctx, "trust")
+        assert "reputation concentration" in text
+        assert "cohort" in text.lower()

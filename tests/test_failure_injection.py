@@ -1,0 +1,105 @@
+"""Failure-injection tests: corrupt inputs must fail loudly, not quietly."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import load_dataset, save_dataset
+from repro.stats.kmeans import kmeans
+from repro.stats.mixture import fit_poisson_mixture
+from repro.stats.zip_model import fit_zip
+from repro.text.values import extract_values
+
+
+class TestCorruptDatasetFiles:
+    def _saved(self, tmp_path, dataset):
+        directory = str(tmp_path / "market")
+        save_dataset(dataset, directory)
+        return directory
+
+    def test_truncated_json_line(self, tmp_path, dataset):
+        directory = self._saved(tmp_path, dataset)
+        path = os.path.join(directory, "contracts.jsonl")
+        with open(path, "a") as handle:
+            handle.write('{"contract_id": 999999, "ctype": "sale"')  # no close
+        with pytest.raises(json.JSONDecodeError):
+            load_dataset(directory)
+
+    def test_unknown_enum_value(self, tmp_path, dataset):
+        directory = self._saved(tmp_path, dataset)
+        path = os.path.join(directory, "contracts.jsonl")
+        with open(path) as handle:
+            first = json.loads(handle.readline())
+        first["status"] = "vanished"
+        with open(path, "a") as handle:
+            handle.write(json.dumps(first) + "\n")
+        with pytest.raises(ValueError):
+            load_dataset(directory)
+
+    def test_missing_required_field(self, tmp_path, dataset):
+        directory = self._saved(tmp_path, dataset)
+        path = os.path.join(directory, "users.jsonl")
+        with open(path, "a") as handle:
+            handle.write('{"joined_forum_at": "2018-06-01T00:00:00"}\n')
+        with pytest.raises(KeyError):
+            load_dataset(directory)
+
+    def test_invalid_contract_semantics(self, tmp_path, dataset):
+        # maker == taker must be rejected by the entity validator
+        directory = self._saved(tmp_path, dataset)
+        path = os.path.join(directory, "contracts.jsonl")
+        with open(path) as handle:
+            row = json.loads(handle.readline())
+        row["contract_id"] = 999998
+        row["taker_id"] = row["maker_id"]
+        with open(path, "a") as handle:
+            handle.write(json.dumps(row) + "\n")
+        with pytest.raises(ValueError):
+            load_dataset(directory)
+
+    def test_blank_lines_tolerated(self, tmp_path, dataset):
+        directory = self._saved(tmp_path, dataset)
+        path = os.path.join(directory, "ratings.jsonl")
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        loaded = load_dataset(directory)
+        assert len(loaded.ratings) == len(dataset.ratings)
+
+
+class TestEstimatorEdgeCases:
+    def test_zip_handles_all_zero_outcomes(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        y = np.zeros(200)
+        result = fit_zip(X, y)
+        assert result.pct_zero == 100.0
+        assert np.isfinite(result.log_likelihood)
+
+    def test_zip_handles_no_zeros(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 1))
+        y = rng.poisson(5.0, 300) + 1
+        result = fit_zip(X, y)
+        assert result.pct_zero == 0.0
+        assert np.isfinite(result.log_likelihood)
+
+    def test_mixture_constant_column(self):
+        rng = np.random.default_rng(2)
+        Y = np.column_stack([rng.poisson(2.0, 100), np.zeros(100)])
+        model = fit_poisson_mixture(Y, 2, seed=0)
+        assert np.isfinite(model.log_likelihood)
+
+    def test_kmeans_single_repeated_point(self):
+        X = np.zeros((20, 3))
+        result = kmeans(X, 2, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_value_extraction_hostile_inputs(self):
+        for text in ("$", "$.", "$,,,", "£" * 50, "1" * 40, "$9" * 30):
+            extract_values(text)  # must not raise
+
+    def test_value_extraction_huge_number(self):
+        values = extract_values("$999,999,999 paypal")
+        assert values[0].amount == 999_999_999.0

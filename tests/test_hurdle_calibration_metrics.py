@@ -1,0 +1,131 @@
+"""Tests for the hurdle model, calibration scorecard and graph metrics."""
+
+import numpy as np
+import pytest
+
+from repro.network.metrics import graph_metrics, random_baseline_metrics
+from repro.stats.hurdle import fit_hurdle
+from repro.stats.vuong import vuong_test
+from repro.stats.zip_model import fit_zip
+from repro.synth.calibration import score_calibration
+
+
+def simulate_hurdle(seed=0, n=4000, beta=(0.8, 0.6, -0.4), gamma=(0.5, 1.0)):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    Z = X[:, :1]
+    p = 1.0 / (1.0 + np.exp(-(gamma[0] + gamma[1] * Z[:, 0])))
+    mu = np.exp(beta[0] + X @ np.asarray(beta[1:]))
+    y = np.zeros(n)
+    for index in np.where(rng.random(n) < p)[0]:
+        draw = 0
+        while draw == 0:
+            draw = rng.poisson(mu[index])
+        y[index] = draw
+    return X, Z, y
+
+
+class TestHurdle:
+    def test_recovers_count_coefficients(self):
+        X, Z, y = simulate_hurdle()
+        result = fit_hurdle(X, y, Z)
+        assert result.count_coef == pytest.approx([0.8, 0.6, -0.4], abs=0.08)
+
+    def test_recovers_hurdle_coefficients(self):
+        X, Z, y = simulate_hurdle()
+        result = fit_hurdle(X, y, Z)
+        assert result.hurdle_coef == pytest.approx([0.5, 1.0], abs=0.12)
+
+    def test_loglik_terms_sum(self):
+        X, Z, y = simulate_hurdle(n=800)
+        result = fit_hurdle(X, y, Z)
+        assert result.loglik_terms(X, Z, y).sum() == pytest.approx(
+            result.log_likelihood, rel=1e-6
+        )
+
+    def test_standard_errors_positive(self):
+        X, Z, y = simulate_hurdle(n=1000)
+        result = fit_hurdle(X, y, Z)
+        assert (result.count_se > 0).all()
+        assert (result.hurdle_se > 0).all()
+        assert np.isfinite(result.count_z).all()
+
+    def test_mcfadden_positive(self):
+        X, Z, y = simulate_hurdle(n=1500)
+        result = fit_hurdle(X, y, Z)
+        assert 0.0 < result.mcfadden_r2 < 1.0
+
+    def test_hurdle_beats_zip_on_hurdle_data(self):
+        # On true hurdle data (no accidental zeros among crossers), the
+        # hurdle model should fit at least as well as ZIP.
+        X, Z, y = simulate_hurdle(n=3000)
+        hurdle = fit_hurdle(X, y, Z)
+        zipr = fit_zip(X, y, Z)
+        v = vuong_test(
+            hurdle.loglik_terms(X, Z, y),
+            zipr.loglik_terms(X, Z, y),
+            hurdle.n_params,
+            zipr.n_params,
+        )
+        assert v.statistic > -2.0
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            fit_hurdle(np.ones((10, 1)), np.zeros(10))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fit_hurdle(np.ones((3, 1)), np.array([1, -1, 2]))
+
+    def test_names(self):
+        X, Z, y = simulate_hurdle(n=500)
+        result = fit_hurdle(X, y, Z, count_names=["a", "b"], hurdle_names=["c"])
+        assert result.count_names == ["(Intercept)", "a", "b"]
+        assert result.hurdle_names == ["(Intercept)", "c"]
+
+
+class TestCalibrationScorecard:
+    def test_default_market_passes(self, dataset):
+        report = score_calibration(dataset)
+        failures = [str(c) for c in report.failures()]
+        # allow at most one marginal miss at 2% test scale
+        assert report.total - report.passed <= 1, failures
+
+    def test_report_lines(self, dataset):
+        report = score_calibration(dataset)
+        lines = report.lines()
+        assert any("calibration targets met" in line for line in lines)
+        assert len(lines) == report.total + 1
+
+    def test_flat_market_fails_event_checks(self):
+        from repro.synth import MarketSimulator, flat_market_scenario
+
+        result = MarketSimulator(flat_market_scenario(scale=0.01, seed=2)).run()
+        report = score_calibration(result.dataset)
+        failed = {c.name for c in report.failures()}
+        assert "March-2019 policy jump (>2x)" in failed
+
+
+class TestGraphMetrics:
+    def test_metrics_shape(self, dataset):
+        metrics = graph_metrics(dataset.contracts)
+        assert metrics.n_nodes > 100
+        assert -1.0 <= metrics.degree_assortativity <= 1.0
+        assert 0.0 <= metrics.average_clustering <= 1.0
+        assert 0.0 < metrics.largest_component_share <= 1.0
+
+    def test_market_is_disassortative(self, dataset):
+        """Hub-mediated trade: leaves connect to hubs (r < 0)."""
+        metrics = graph_metrics(dataset.contracts)
+        assert metrics.degree_assortativity < -0.05
+
+    def test_random_baseline_less_disassortative(self, dataset):
+        grown = graph_metrics(dataset.contracts)
+        baseline = random_baseline_metrics(dataset.contracts, seed=1)
+        assert grown.degree_assortativity < baseline.degree_assortativity
+        assert baseline.n_nodes == grown.n_nodes
+        assert baseline.n_edges == grown.n_edges
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(ValueError):
+            graph_metrics([])

@@ -1,0 +1,86 @@
+"""Integration tests: full pipeline from simulation to reproduced results."""
+
+import pytest
+
+from repro import (
+    ExperimentContext,
+    generate_market,
+    load_dataset,
+    run_experiment,
+    save_dataset,
+)
+from repro.analysis import (
+    contract_taxonomy,
+    monthly_growth,
+    top_payment_methods,
+    top_trading_activities,
+    total_values,
+)
+from repro.core import ContractType
+from repro.network.degrees import degree_distributions
+
+
+class TestFullPipeline:
+    def test_simulate_save_load_analyse(self, tmp_path, sim_small):
+        """The classic workflow: generate, persist, reload, analyse."""
+        directory = str(tmp_path / "hf-market")
+        save_dataset(sim_small.dataset, directory)
+        dataset = load_dataset(directory)
+
+        taxonomy = contract_taxonomy(dataset)
+        assert taxonomy.total == len(sim_small.dataset.contracts)
+
+        growth = monthly_growth(dataset)
+        assert 25 <= len(growth) <= 26  # completion spillover into July 2020
+
+        activities = top_trading_activities(dataset)
+        assert activities.top(1)[0].category == "currency_exchange"
+
+    def test_cross_analysis_consistency(self, sim_small):
+        """Different analyses must agree on shared quantities."""
+        dataset = sim_small.dataset
+        taxonomy = contract_taxonomy(dataset)
+        growth = monthly_growth(dataset)
+        assert sum(g.contracts_created for g in growth) == taxonomy.total
+
+        dist = degree_distributions(dataset.contracts)
+        assert dist.n_users == len(dataset.participant_ids())
+        assert dist.n_contracts == taxonomy.total
+
+    def test_payment_table_consistent_with_activity_table(self, sim_small):
+        dataset = sim_small.dataset
+        activities = top_trading_activities(dataset)
+        payments = top_payment_methods(dataset)
+        # payment-related contracts are a subset of categorised contracts
+        assert payments.n_contracts <= activities.n_contracts
+
+    def test_value_report_consistent_with_taxonomy(self, sim_small):
+        report = total_values(sim_small.dataset, sim_small.rates, sim_small.ledger)
+        taxonomy = contract_taxonomy(sim_small.dataset)
+        completed_public = len(sim_small.dataset.completed_public())
+        assert report.n_valued <= completed_public
+        # extrapolation multiplies by all completed contracts
+        assert report.extrapolated_total_usd >= report.total_usd
+
+    def test_experiment_on_fresh_market(self):
+        result = generate_market(scale=0.01, seed=77, generate_posts=False)
+        ctx = ExperimentContext(result)
+        report = run_experiment("table1", ctx)
+        assert "Sale" in "\n".join(report.lines)
+
+    def test_headline_paper_shapes(self, sim_small):
+        """One assertion per headline claim of the paper's abstract."""
+        dataset = sim_small.dataset
+        taxonomy = contract_taxonomy(dataset)
+        # 'currency exchange accounts for most contracts'
+        activities = top_trading_activities(dataset)
+        assert activities.top(1)[0].category == "currency_exchange"
+        # 'Bitcoin and PayPal are the preferred payment methods'
+        payments = top_payment_methods(dataset)
+        assert [r.method for r in payments.top(2)] == ["bitcoin", "paypal"]
+        # 'SALE dominates ... EXCHANGE has the highest completion rate'
+        completion = {
+            t: taxonomy.completion_rate(t)
+            for t in (ContractType.SALE, ContractType.EXCHANGE, ContractType.PURCHASE)
+        }
+        assert max(completion, key=completion.get) == ContractType.EXCHANGE

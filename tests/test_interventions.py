@@ -1,0 +1,100 @@
+"""Tests for the Sybil trust-signal intervention experiments."""
+
+import datetime as dt
+
+import pytest
+
+from repro.interventions.sybil import (
+    SybilAttack,
+    apply_sybil_attack,
+    era_vulnerability,
+    measure_trust_distortion,
+)
+
+ATTACK_TIME = dt.datetime(2019, 6, 15, 12, 0)
+
+
+class TestSybilAttack:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SybilAttack(when=ATTACK_TIME, budget=0)
+        with pytest.raises(ValueError):
+            SybilAttack(when=ATTACK_TIME, targets=0)
+        with pytest.raises(ValueError):
+            SybilAttack(when=ATTACK_TIME, strategy="nuke")
+
+    def test_attack_adds_only_ratings(self, dataset):
+        attack = SybilAttack(when=ATTACK_TIME, budget=50, targets=5)
+        attacked, targets = apply_sybil_attack(dataset, attack, seed=0)
+        assert len(attacked.ratings) == len(dataset.ratings) + 50
+        assert len(attacked.contracts) == len(dataset.contracts)
+        assert len(targets) == 5
+
+    def test_original_untouched(self, dataset):
+        before = len(dataset.ratings)
+        attack = SybilAttack(when=ATTACK_TIME, budget=30, targets=3)
+        apply_sybil_attack(dataset, attack, seed=0)
+        assert len(dataset.ratings) == before
+
+    def test_fake_votes_are_negative_and_sybil(self, dataset):
+        attack = SybilAttack(when=ATTACK_TIME, budget=40, targets=4)
+        attacked, _ = apply_sybil_attack(dataset, attack, seed=0)
+        fakes = attacked.ratings[len(dataset.ratings):]
+        assert all(r.score == -1 for r in fakes)
+        assert all(r.rater_id >= 10_000_000 for r in fakes)
+        assert all(r.created_at >= ATTACK_TIME for r in fakes)
+
+    def test_top_users_strategy_hits_highest_reputation(self, dataset):
+        attack = SybilAttack(when=ATTACK_TIME, budget=30, targets=3,
+                             strategy="top_users")
+        _, targets = apply_sybil_attack(dataset, attack, seed=0)
+        scores = {}
+        for rating in dataset.ratings:
+            if rating.created_at <= ATTACK_TIME:
+                scores[rating.ratee_id] = scores.get(rating.ratee_id, 0) + rating.score
+        best = sorted(scores, key=lambda u: -scores[u])[:3]
+        assert set(targets) == set(best)
+
+    def test_random_strategy_seed_determinism(self, dataset):
+        attack = SybilAttack(when=ATTACK_TIME, budget=30, targets=5,
+                             strategy="random")
+        _, a = apply_sybil_attack(dataset, attack, seed=1)
+        _, b = apply_sybil_attack(dataset, attack, seed=1)
+        assert a == b
+
+
+class TestTrustDistortion:
+    def test_attack_causes_distortion(self, dataset):
+        attack = SybilAttack(when=ATTACK_TIME, budget=400, targets=10)
+        attacked, targets = apply_sybil_attack(dataset, attack, seed=0)
+        impact = measure_trust_distortion(dataset, attacked, targets, ATTACK_TIME)
+        assert impact.rank_correlation < 1.0
+        assert impact.median_target_drop > 0
+        assert 0.0 <= impact.top_k_displaced <= 1.0
+        assert impact.distortion > 0
+
+    def test_bigger_budget_bigger_damage(self, dataset):
+        small = SybilAttack(when=ATTACK_TIME, budget=50, targets=10)
+        large = SybilAttack(when=ATTACK_TIME, budget=2000, targets=10)
+        attacked_small, t_small = apply_sybil_attack(dataset, small, seed=0)
+        attacked_large, t_large = apply_sybil_attack(dataset, large, seed=0)
+        impact_small = measure_trust_distortion(dataset, attacked_small, t_small, ATTACK_TIME)
+        impact_large = measure_trust_distortion(dataset, attacked_large, t_large, ATTACK_TIME)
+        assert impact_large.median_target_drop > impact_small.median_target_drop
+        assert impact_large.distortion >= impact_small.distortion
+
+    def test_no_attack_no_distortion(self, dataset):
+        impact = measure_trust_distortion(dataset, dataset, [], ATTACK_TIME)
+        assert impact.rank_correlation == pytest.approx(1.0)
+        assert impact.top_k_displaced == 0.0
+
+
+class TestEraVulnerability:
+    def test_all_eras_measured(self, dataset):
+        impacts = era_vulnerability(dataset, budget=300, targets=10)
+        assert set(impacts) == {"SET-UP", "STABLE", "COVID-19"}
+
+    def test_early_market_most_vulnerable(self, dataset):
+        """The paper's claim: attack the trust signal early."""
+        impacts = era_vulnerability(dataset, budget=300, targets=10)
+        assert impacts["SET-UP"].distortion >= impacts["STABLE"].distortion

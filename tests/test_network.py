@@ -1,0 +1,186 @@
+"""Tests for the contract graph, degree analyses and power-law fitting."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Contract,
+    ContractStatus,
+    ContractType,
+    MarketDataset,
+    Visibility,
+)
+from repro.network.degrees import degree_distributions, degree_growth
+from repro.network.graph import ContractGraph
+from repro.network.powerlaw import fit_power_law, loglik_ratio_vs_exponential
+
+T0 = dt.datetime(2018, 7, 1)
+
+
+def contract(cid, maker, taker, ctype=ContractType.SALE, created=T0,
+             status=ContractStatus.COMPLETE):
+    return Contract(
+        contract_id=cid, ctype=ctype, status=status,
+        visibility=Visibility.PRIVATE, maker_id=maker, taker_id=taker,
+        created_at=created,
+    )
+
+
+class TestContractGraph:
+    def test_sale_directions(self):
+        graph = ContractGraph([contract(1, 1, 2)])
+        assert graph.degree(1, "raw") == 1
+        assert graph.degree(1, "outbound") == 1
+        assert graph.degree(1, "inbound") == 0
+        assert graph.degree(2, "inbound") == 1
+        assert graph.degree(2, "outbound") == 0
+
+    def test_bidirectional_types_link_both_ways(self):
+        graph = ContractGraph([contract(1, 1, 2, ctype=ContractType.EXCHANGE)])
+        for user in (1, 2):
+            assert graph.degree(user, "inbound") == 1
+            assert graph.degree(user, "outbound") == 1
+
+    def test_distinct_counterparties_only(self):
+        # Five contracts with the same pair still give degree 1
+        contracts = [contract(i, 1, 2) for i in range(5)]
+        graph = ContractGraph(contracts)
+        assert graph.degree(1, "raw") == 1
+        assert graph.n_contracts == 5
+
+    def test_degree_array_covers_all_nodes(self):
+        graph = ContractGraph([contract(1, 1, 2), contract(2, 3, 2)])
+        assert len(graph.degree_array("raw")) == 3
+        assert graph.max_degree("raw") == 2  # user 2
+
+    def test_average_degree(self):
+        graph = ContractGraph([contract(1, 1, 2)])
+        assert graph.average_degree("raw") == pytest.approx(1.0)
+
+    def test_unknown_kind_rejected(self):
+        graph = ContractGraph([contract(1, 1, 2)])
+        with pytest.raises(ValueError):
+            graph.degree(1, "sideways")
+
+    def test_to_networkx_raw(self):
+        graph = ContractGraph([contract(1, 1, 2), contract(2, 2, 3)])
+        nx_graph = graph.to_networkx("raw")
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 2
+
+    def test_to_networkx_directed(self):
+        graph = ContractGraph([contract(1, 1, 2)])
+        out = graph.to_networkx("outbound")
+        assert out.has_edge(1, 2)
+        inbound = graph.to_networkx("inbound")
+        assert inbound.has_edge(1, 2)
+
+    def test_neighbors(self):
+        graph = ContractGraph([contract(1, 1, 2), contract(2, 1, 3)])
+        assert graph.neighbors(1, "outbound") == {2, 3}
+
+    def test_empty_graph(self):
+        graph = ContractGraph([])
+        assert len(graph) == 0
+        assert graph.max_degree("raw") == 0
+        assert graph.average_degree("raw") == 0.0
+
+
+class TestDegreeDistributions:
+    def test_histograms(self):
+        contracts = [contract(1, 1, 2), contract(2, 1, 3), contract(3, 4, 2)]
+        dist = degree_distributions(contracts)
+        assert dist.n_users == 4
+        assert dist.histogram["raw"][2] == 2  # users 1 and 2
+        assert dist.histogram["outbound"][0] == 2  # users 2 and 3
+
+    def test_truncated(self):
+        contracts = [contract(i, i, 100) for i in range(1, 30)]
+        dist = degree_distributions(contracts)
+        truncated = dist.truncated("inbound", 15)
+        assert all(d <= 15 for d in truncated)
+        assert dist.max_degree["inbound"] == 29
+
+    def test_max_in_exceeds_out_for_hub_taker(self, dataset):
+        dist = degree_distributions(dataset.contracts)
+        assert dist.max_degree["inbound"] > dist.max_degree["outbound"]
+
+    def test_raw_close_to_inbound_max(self, dataset):
+        dist = degree_distributions(dataset.contracts)
+        assert dist.max_degree["raw"] >= dist.max_degree["inbound"]
+        assert dist.max_degree["raw"] <= dist.max_degree["inbound"] * 1.3
+
+
+class TestDegreeGrowth:
+    def test_monotone_max_degrees(self, dataset):
+        series = degree_growth(dataset)
+        max_raw = [p.max_raw for p in series]
+        assert max_raw == sorted(max_raw)
+
+    def test_every_month_present(self, dataset):
+        series = degree_growth(dataset)
+        months = [p.month for p in series]
+        assert len(months) == len(set(months))
+        for earlier, later in zip(months, months[1:]):
+            assert later == earlier.next()
+
+    def test_completed_subset_smaller(self, dataset):
+        all_series = degree_growth(dataset, completed_only=False)
+        completed_series = degree_growth(dataset, completed_only=True)
+        assert completed_series[-1].max_raw <= all_series[-1].max_raw
+
+    def test_empty_dataset(self):
+        empty = MarketDataset()
+        assert degree_growth(empty) == []
+
+
+class TestPowerLaw:
+    def test_fit_on_generated_power_law(self):
+        rng = np.random.default_rng(0)
+        # discrete approximation: continuous Pareto rounded up
+        # scale up so the discrete/continuous approximation is accurate
+        samples = np.ceil(10 * (rng.pareto(1.5, size=5000) + 1)).astype(int)
+        fit = fit_power_law(samples, xmin=10)
+        assert fit.alpha == pytest.approx(2.5, abs=0.25)
+
+    def test_xmin_selection(self):
+        rng = np.random.default_rng(1)
+        samples = np.ceil(rng.pareto(1.2, size=3000) + 1).astype(int)
+        fit = fit_power_law(samples)
+        assert 1 <= fit.xmin <= 20
+        assert fit.n_tail >= 10
+
+    def test_zeros_dropped(self):
+        rng = np.random.default_rng(2)
+        samples = list(np.ceil(rng.pareto(1.5, size=500) + 1).astype(int)) + [0] * 100
+        fit = fit_power_law(samples, xmin=1)
+        assert fit.n_tail == 500
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3])
+
+    def test_heavy_tail_beats_exponential(self):
+        rng = np.random.default_rng(3)
+        samples = np.ceil(rng.pareto(1.5, size=3000) + 1).astype(int)
+        fit = fit_power_law(samples, xmin=2)
+        ratio, normalised = loglik_ratio_vs_exponential(samples, fit)
+        assert ratio > 0
+
+    def test_thin_tail_prefers_exponential(self):
+        rng = np.random.default_rng(4)
+        samples = rng.poisson(3.0, size=3000) + 1
+        fit = fit_power_law(samples, xmin=2)
+        ratio, _ = loglik_ratio_vs_exponential(samples, fit)
+        assert ratio < 0
+
+    def test_simulated_market_raw_degrees_heavy_tailed(self, dataset):
+        dist = degree_distributions(dataset.contracts)
+        degrees = []
+        for degree, count in dist.histogram["raw"].items():
+            degrees.extend([degree] * count)
+        fit = fit_power_law(degrees)
+        ratio, _ = loglik_ratio_vs_exponential(degrees, fit)
+        assert ratio > 0  # heavy tail, as in the paper's Figure 7

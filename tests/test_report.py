@@ -1,0 +1,88 @@
+"""Tests for table/series rendering."""
+
+import pytest
+
+from repro.core import Month
+from repro.report.figures import era_marker, render_series, sparkline
+from repro.report.tables import (
+    format_count_share,
+    format_pct,
+    format_usd,
+    render_table,
+)
+
+
+class TestFormatters:
+    def test_count_share(self):
+        assert format_count_share(39908, 0.212) == "39,908 (21.20%)"
+
+    def test_usd(self):
+        assert format_usd(971228.4) == "$971,228"
+
+    def test_pct(self):
+        assert format_pct(0.1234) == "12.3%"
+        assert format_pct(0.1234, 0) == "12%"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        lines = render_table(["name", "count"], [["a", 1], ["bb", 22]])
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        lines = render_table(["x"], [["1"]], title="T:")
+        assert lines[0] == "T:"
+
+    def test_alignment(self):
+        lines = render_table(["name", "n"], [["a", 5], ["long", 123]])
+        # numbers right-aligned: the '5' ends at same column as '123'
+        assert lines[2].rstrip().endswith("5")
+        assert lines[3].rstrip().endswith("123")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        lines = render_table(["a"], [])
+        assert len(lines) == 2
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestRenderSeries:
+    def test_month_rows(self):
+        series = {
+            "a": {Month(2018, 6): 1.0, Month(2018, 7): 2.0},
+            "b": {Month(2018, 7): 5.0},
+        }
+        lines = render_series(series)
+        assert any("2018-06" in line for line in lines)
+        # missing cell rendered as '-'
+        assert any(" -" in line for line in lines)
+        # sparklines at the end
+        assert any("a" in line and "▁" in line for line in lines)
+
+    def test_era_marker(self):
+        assert era_marker(Month(2018, 7)) == "E1"
+        assert era_marker(Month(2019, 6)) == "E2"
+        assert era_marker(Month(2020, 5)) == "E3"
+        assert era_marker(Month(2025, 1)) == ""
+
+    def test_explicit_months(self):
+        series = {"a": {Month(2018, 6): 1.0}}
+        lines = render_series(series, months=[Month(2018, 6), Month(2018, 7)])
+        assert any("2018-07" in line for line in lines)

@@ -1,0 +1,57 @@
+"""Seed robustness: the paper's headline shapes hold across RNG seeds.
+
+Calibration must not hinge on one lucky random stream — the qualitative
+results (who dominates, where the regime changes fall) are checked on
+several independently-seeded small markets.
+"""
+
+import pytest
+
+from repro.analysis import contract_taxonomy, top_payment_methods, top_trading_activities
+from repro.core import ContractType, Month
+from repro.synth import MarketSimulator, SimulationConfig
+
+SEEDS = (11, 222, 3333)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_dataset(request):
+    config = SimulationConfig(scale=0.015, seed=request.param, generate_posts=False)
+    return MarketSimulator(config).run().dataset
+
+
+class TestShapesAcrossSeeds:
+    def test_sale_dominates(self, seeded_dataset):
+        taxonomy = contract_taxonomy(seeded_dataset)
+        assert taxonomy.row_share(ContractType.SALE) > 0.55
+
+    def test_exchange_completes_more_than_sale(self, seeded_dataset):
+        taxonomy = contract_taxonomy(seeded_dataset)
+        assert taxonomy.completion_rate(ContractType.EXCHANGE) > taxonomy.completion_rate(
+            ContractType.SALE
+        )
+
+    def test_march_2019_jump(self, seeded_dataset):
+        by_month = seeded_dataset.contracts_by_created_month()
+        feb = len(by_month.get(Month(2019, 2), ()))
+        mar = len(by_month.get(Month(2019, 3), ()))
+        assert mar > 1.8 * max(1, feb)
+
+    def test_covid_peak(self, seeded_dataset):
+        by_month = seeded_dataset.contracts_by_created_month()
+        apr = len(by_month.get(Month(2020, 4), ()))
+        jun = len(by_month.get(Month(2020, 6), ()))
+        assert apr > jun
+
+    def test_currency_exchange_top_activity(self, seeded_dataset):
+        table = top_trading_activities(seeded_dataset)
+        assert table.top(1)[0].category == "currency_exchange"
+
+    def test_bitcoin_top_method(self, seeded_dataset):
+        table = top_payment_methods(seeded_dataset)
+        assert table.top(1)[0].method == "bitcoin"
+
+    def test_public_share_plausible(self, seeded_dataset):
+        public = sum(1 for c in seeded_dataset.contracts if c.is_public)
+        share = public / len(seeded_dataset.contracts)
+        assert 0.07 < share < 0.22

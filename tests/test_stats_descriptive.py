@@ -1,0 +1,118 @@
+"""Tests for concentration statistics and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import (
+    concentration_curve,
+    gini,
+    herfindahl,
+    lorenz_curve,
+    top_share,
+)
+from repro.stats.preprocessing import Standardizer, sqrt_transform, standardize
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_extreme_inequality(self):
+        values = [0] * 99 + [100]
+        assert gini(values) > 0.95
+
+    def test_known_value(self):
+        # For [1, 3]: gini = (2*(1*1 + 2*3) - 3*4) / (2*4) = 2/8
+        assert gini([1, 3]) == pytest.approx(0.25)
+
+    def test_zero_total(self):
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([1, -2])
+
+
+class TestLorenzAndShares:
+    def test_lorenz_endpoints(self):
+        pop, share = lorenz_curve([1, 2, 3, 4])
+        assert pop[0] == 0.0 and share[0] == 0.0
+        assert pop[-1] == 1.0 and share[-1] == pytest.approx(1.0)
+
+    def test_lorenz_monotone(self):
+        _, share = lorenz_curve([5, 1, 9, 2, 7])
+        assert (np.diff(share) >= 0).all()
+
+    def test_top_share_full(self):
+        assert top_share([1, 2, 3], 100) == pytest.approx(1.0)
+
+    def test_top_share_dominant_item(self):
+        assert top_share([1, 1, 1, 1, 96], 20) == pytest.approx(0.96)
+
+    def test_top_share_monotone_in_percent(self):
+        values = list(range(1, 101))
+        shares = [top_share(values, p) for p in (5, 10, 50, 100)]
+        assert shares == sorted(shares)
+
+    def test_top_share_invalid_percent(self):
+        with pytest.raises(ValueError):
+            top_share([1, 2], 0)
+        with pytest.raises(ValueError):
+            top_share([1, 2], 101)
+
+    def test_concentration_curve_keys(self):
+        curve = concentration_curve([3, 1, 2], percents=(10, 50, 100))
+        assert set(curve) == {10, 50, 100}
+
+    def test_herfindahl_bounds(self):
+        assert herfindahl([1, 1, 1, 1]) == pytest.approx(0.25)
+        assert herfindahl([0, 0, 10]) == pytest.approx(1.0)
+        assert herfindahl([0.0]) == 0.0
+
+
+class TestPreprocessing:
+    def test_standardize_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, size=(500, 3))
+        Z = standardize(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-10)
+
+    def test_constant_column_not_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = standardize(X)
+        assert np.isfinite(Z).all()
+        assert np.allclose(Z[:, 0], 0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        scaler = Standardizer.fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_standardizer_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Standardizer.fit(np.arange(5.0))
+
+    def test_sqrt_transform(self):
+        X = np.array([[4.0, 9.0], [16.0, 25.0]])
+        assert np.allclose(sqrt_transform(X), [[2, 3], [4, 5]])
+
+    def test_sqrt_transform_skip_columns(self):
+        X = np.array([[4.0, 9.0]])
+        out = sqrt_transform(X, skip_columns=[1])
+        assert out[0, 0] == 2.0
+        assert out[0, 1] == 9.0
+
+    def test_sqrt_transform_clips_negatives(self):
+        X = np.array([[-4.0]])
+        assert sqrt_transform(X)[0, 0] == 0.0
+
+    def test_sqrt_transform_copies(self):
+        X = np.array([[4.0]])
+        sqrt_transform(X)
+        assert X[0, 0] == 4.0

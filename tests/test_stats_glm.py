@@ -1,0 +1,125 @@
+"""Tests for the Poisson GLM (IRLS) and information criteria."""
+
+import numpy as np
+import pytest
+
+from repro.stats.information import aic, bic, mcfadden_r2
+from repro.stats.poisson_glm import add_intercept, fit_poisson, poisson_loglik_terms
+
+
+def simulate(seed=0, n=4000, beta=(0.4, 0.7, -0.5)):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, len(beta) - 1))
+    eta = beta[0] + X @ np.asarray(beta[1:])
+    y = rng.poisson(np.exp(eta))
+    return X, y
+
+
+class TestFitPoisson:
+    def test_recovers_coefficients(self):
+        X, y = simulate()
+        result = fit_poisson(X, y)
+        assert result.converged
+        assert result.coef[0] == pytest.approx(0.4, abs=0.08)
+        assert result.coef[1] == pytest.approx(0.7, abs=0.05)
+        assert result.coef[2] == pytest.approx(-0.5, abs=0.05)
+
+    def test_standard_errors_reasonable(self):
+        X, y = simulate()
+        result = fit_poisson(X, y)
+        # z-values for true non-zero effects should be large
+        assert abs(result.z_values[1]) > 10
+        assert (result.std_err > 0).all()
+
+    def test_p_values_in_unit_interval(self):
+        X, y = simulate()
+        result = fit_poisson(X, y)
+        assert ((result.p_values >= 0) & (result.p_values <= 1)).all()
+
+    def test_null_effect_not_significant(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(2000, 1))
+        y = rng.poisson(2.0, size=2000)  # independent of X
+        result = fit_poisson(X, y)
+        assert abs(result.z_values[1]) < 3
+
+    def test_mcfadden_between_zero_one(self):
+        X, y = simulate()
+        result = fit_poisson(X, y)
+        assert 0.0 < result.mcfadden_r2 < 1.0
+
+    def test_aic_bic_penalise_parameters(self):
+        X, y = simulate()
+        base = fit_poisson(X[:, :1], y)
+        rng = np.random.default_rng(1)
+        noise = np.column_stack([X[:, :1], rng.normal(size=(len(y), 3))])
+        bigger = fit_poisson(noise, y)
+        # Noise columns barely improve loglik; BIC should prefer smaller
+        assert bigger.bic > base.bic
+
+    def test_predict_mu_matches_mean(self):
+        X, y = simulate()
+        result = fit_poisson(X, y)
+        mu = result.predict_mu(X)
+        assert mu.mean() == pytest.approx(y.mean(), rel=0.05)
+
+    def test_loglik_terms_sum(self):
+        X, y = simulate(n=500)
+        result = fit_poisson(X, y)
+        assert result.loglik_terms(X, y).sum() == pytest.approx(
+            result.log_likelihood, rel=1e-6
+        )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fit_poisson(np.ones((3, 1)), np.array([1, -1, 2]))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            fit_poisson(np.ones((3, 1)), np.array([1, 2]))
+
+    def test_names(self):
+        X, y = simulate(n=500)
+        result = fit_poisson(X, y, names=["a", "b"])
+        assert result.names == ["(Intercept)", "a", "b"]
+
+    def test_wrong_names_length(self):
+        X, y = simulate(n=100)
+        with pytest.raises(ValueError):
+            fit_poisson(X, y, names=["only_one"])
+
+    def test_all_zero_counts(self):
+        X = np.random.default_rng(0).normal(size=(100, 1))
+        y = np.zeros(100)
+        result = fit_poisson(X, y)
+        assert result.coef[0] < -5  # log-mean pushed very low
+
+
+class TestInformationCriteria:
+    def test_aic_formula(self):
+        assert aic(-100.0, 3) == 206.0
+
+    def test_bic_formula(self):
+        assert bic(-100.0, 3, 100) == pytest.approx(3 * np.log(100) + 200)
+
+    def test_bic_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            bic(-1.0, 1, 0)
+
+    def test_mcfadden(self):
+        assert mcfadden_r2(-50.0, -100.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            mcfadden_r2(-50.0, 0.0)
+
+
+class TestHelpers:
+    def test_add_intercept(self):
+        X = np.ones((4, 2))
+        design = add_intercept(X)
+        assert design.shape == (4, 3)
+        assert (design[:, 0] == 1).all()
+
+    def test_loglik_terms_known_value(self):
+        # Poisson(1): logpmf(1) = -1
+        terms = poisson_loglik_terms(np.array([1.0]), np.array([0.0]))
+        assert terms[0] == pytest.approx(-1.0)

@@ -1,0 +1,94 @@
+"""Tests for the from-scratch k-means implementation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.kmeans import choose_k, kmeans, silhouette_score
+
+
+def blobs(seed=0, centers=((0, 0), (8, 8)), n=150):
+    rng = np.random.default_rng(seed)
+    parts = [rng.normal(c, 1.0, size=(n, 2)) for c in centers]
+    return np.vstack(parts)
+
+
+class TestKMeans:
+    def test_separated_blobs_recovered(self):
+        X = blobs()
+        result = kmeans(X, 2, seed=0)
+        sizes = sorted(result.cluster_sizes())
+        assert sizes == [150, 150]
+
+    def test_three_blobs(self):
+        X = blobs(centers=((0, 0), (10, 0), (0, 10)))
+        result = kmeans(X, 3, seed=0)
+        assert sorted(result.cluster_sizes()) == [150, 150, 150]
+
+    def test_labels_align_with_centers(self):
+        X = blobs()
+        result = kmeans(X, 2, seed=0)
+        predicted = result.predict(X)
+        assert np.array_equal(predicted, result.labels)
+
+    def test_inertia_decreases_with_k(self):
+        X = blobs(centers=((0, 0), (6, 6), (12, 0)))
+        inertias = [kmeans(X, k, seed=0).inertia for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k_one(self):
+        X = blobs()
+        result = kmeans(X, 1, seed=0)
+        assert result.k == 1
+        assert np.allclose(result.centers[0], X.mean(axis=0), atol=1e-6)
+
+    def test_k_equals_n(self):
+        X = np.arange(10, dtype=float).reshape(5, 2)
+        result = kmeans(X, 5, seed=0, n_init=2)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_k(self):
+        X = blobs()
+        with pytest.raises(ValueError):
+            kmeans(X, 0)
+        with pytest.raises(ValueError):
+            kmeans(X, len(X) + 1)
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.arange(10.0), 2)
+
+    def test_deterministic_with_seed(self):
+        X = blobs()
+        a = kmeans(X, 2, seed=5)
+        b = kmeans(X, 2, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_duplicate_points(self):
+        X = np.ones((30, 2))
+        result = kmeans(X, 2, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSilhouette:
+    def test_separated_blobs_high_score(self):
+        X = blobs()
+        result = kmeans(X, 2, seed=0)
+        assert silhouette_score(X, result.labels) > 0.6
+
+    def test_random_labels_low_score(self):
+        X = blobs()
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, len(X))
+        assert silhouette_score(X, labels) < 0.2
+
+    def test_single_cluster_zero(self):
+        X = blobs()
+        assert silhouette_score(X, np.zeros(len(X), dtype=int)) == 0.0
+
+
+class TestChooseK:
+    def test_picks_true_k(self):
+        X = blobs(centers=((0, 0), (10, 0), (0, 10)))
+        best, scores = choose_k(X, (2, 5), seed=0)
+        assert best == 3
+        assert set(scores) == {2, 3, 4, 5}

@@ -1,0 +1,149 @@
+"""Tests for the Poisson mixture (LCA) and latent transition model."""
+
+import numpy as np
+import pytest
+
+from repro.stats.ltm import fit_latent_transitions
+from repro.stats.mixture import fit_poisson_mixture, select_poisson_mixture
+
+
+def two_class_counts(seed=0, n1=600, n2=300, lam1=(5.0, 0.5), lam2=(0.5, 3.0)):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [rng.poisson(lam1, size=(n1, 2)), rng.poisson(lam2, size=(n2, 2))]
+    ).astype(float)
+
+
+class TestPoissonMixture:
+    def test_recovers_rates(self):
+        Y = two_class_counts()
+        model = fit_poisson_mixture(Y, 2, seed=0)
+        rates = model.rates[np.argsort(model.rates[:, 0])]
+        assert rates[0] == pytest.approx([0.5, 3.0], abs=0.35)
+        assert rates[1] == pytest.approx([5.0, 0.5], abs=0.35)
+
+    def test_recovers_weights(self):
+        Y = two_class_counts()
+        model = fit_poisson_mixture(Y, 2, seed=0)
+        assert sorted(model.weights) == pytest.approx([1 / 3, 2 / 3], abs=0.06)
+
+    def test_weights_sorted_descending(self):
+        Y = two_class_counts()
+        model = fit_poisson_mixture(Y, 2, seed=0)
+        assert model.weights[0] >= model.weights[1]
+
+    def test_assignment_accuracy(self):
+        Y = two_class_counts()
+        model = fit_poisson_mixture(Y, 2, seed=0)
+        labels = model.assign(Y)
+        # first block should mostly share one label
+        first = np.bincount(labels[:600]).max()
+        assert first > 560
+
+    def test_responsibilities_sum_to_one(self):
+        Y = two_class_counts(n1=50, n2=50)
+        model = fit_poisson_mixture(Y, 2, seed=0)
+        resp = model.responsibilities(Y)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_loglik_improves_with_true_k(self):
+        Y = two_class_counts()
+        one = fit_poisson_mixture(Y, 1, seed=0)
+        two = fit_poisson_mixture(Y, 2, seed=0)
+        assert two.log_likelihood > one.log_likelihood + 50
+
+    def test_n_params(self):
+        Y = two_class_counts(n1=40, n2=40)
+        model = fit_poisson_mixture(Y, 3, seed=0)
+        assert model.n_params == 3 * 2 + 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fit_poisson_mixture(np.array([1.0, 2.0]), 2)  # 1-D
+        with pytest.raises(ValueError):
+            fit_poisson_mixture(-np.ones((5, 2)), 2)  # negative
+        with pytest.raises(ValueError):
+            fit_poisson_mixture(np.ones((5, 2)), 0)
+
+    def test_feature_names(self):
+        Y = two_class_counts(n1=30, n2=30)
+        model = fit_poisson_mixture(Y, 2, seed=0, feature_names=["make", "take"])
+        assert model.feature_names == ["make", "take"]
+
+    def test_deterministic_given_seed(self):
+        Y = two_class_counts(n1=100, n2=100)
+        a = fit_poisson_mixture(Y, 2, seed=7)
+        b = fit_poisson_mixture(Y, 2, seed=7)
+        assert a.log_likelihood == pytest.approx(b.log_likelihood)
+
+
+class TestSelection:
+    def test_bic_selects_true_k(self):
+        Y = two_class_counts()
+        model, scores = select_poisson_mixture(Y, (1, 4), seed=0, n_init=2)
+        assert model.k == 2
+        assert scores[2] < scores[1]
+
+    def test_invalid_criterion(self):
+        with pytest.raises(ValueError):
+            select_poisson_mixture(np.ones((10, 2)), (1, 2), criterion="dic")
+
+
+class TestLatentTransitions:
+    def make_panel(self, seed=0, periods=5, n=120, sticky=True):
+        rng = np.random.default_rng(seed)
+        classes = {u: (0 if u < n // 3 else 1) for u in range(n)}
+        lams = [(6.0, 0.5), (0.5, 2.5)]
+        panel = []
+        for _ in range(periods):
+            if not sticky:
+                classes = {u: int(rng.integers(0, 2)) for u in range(n)}
+            panel.append({u: rng.poisson(lams[c]) for u, c in classes.items()})
+        return panel
+
+    def test_sticky_panel_high_persistence(self):
+        panel = self.make_panel(sticky=True)
+        result = fit_latent_transitions(panel, k=2, seed=0)
+        assert result.persistence().min() > 0.8
+
+    def test_random_panel_low_persistence(self):
+        panel = self.make_panel(sticky=False)
+        result = fit_latent_transitions(panel, k=2, seed=0)
+        assert result.persistence().max() < 0.75
+
+    def test_rows_stochastic(self):
+        panel = self.make_panel()
+        result = fit_latent_transitions(panel, k=2, seed=0)
+        assert np.allclose(result.transition.sum(axis=1), 1.0)
+
+    def test_occupancy_counts(self):
+        panel = self.make_panel(periods=3, n=60)
+        result = fit_latent_transitions(panel, k=2, seed=0)
+        assert result.occupancy.shape == (3, 2)
+        assert result.occupancy.sum(axis=1).tolist() == [60, 60, 60]
+
+    def test_stationary_distribution_sums_to_one(self):
+        panel = self.make_panel()
+        result = fit_latent_transitions(panel, k=2, seed=0)
+        assert result.stationary_distribution().sum() == pytest.approx(1.0)
+
+    def test_reuse_prefitted_mixture(self):
+        panel = self.make_panel(periods=3, n=60)
+        pooled = np.vstack([np.vstack(list(p.values())) for p in panel])
+        mixture = fit_poisson_mixture(pooled, 2, seed=1)
+        result = fit_latent_transitions(panel, k=99, mixture=mixture)
+        assert result.k == 2
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(ValueError):
+            fit_latent_transitions([], k=2)
+
+    def test_users_entering_and_leaving(self):
+        rng = np.random.default_rng(0)
+        panel = [
+            {1: rng.poisson((5, 0.5)), 2: rng.poisson((0.5, 3))},
+            {2: rng.poisson((0.5, 3)), 3: rng.poisson((5, 0.5))},
+            {3: rng.poisson((5, 0.5))},
+        ]
+        result = fit_latent_transitions(panel, k=2, seed=0)
+        assert result.n_periods == 3

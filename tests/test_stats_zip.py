@@ -1,0 +1,138 @@
+"""Tests for the Zero-Inflated Poisson regression."""
+
+import numpy as np
+import pytest
+
+from repro.stats.poisson_glm import fit_poisson
+from repro.stats.vuong import vuong_test
+from repro.stats.zip_model import fit_zip
+
+
+def simulate_zip(seed=0, n=5000, beta=(0.5, 0.8, -0.3), gamma=(-1.0, 1.2)):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    Z = X[:, 1:2]
+    mu = np.exp(beta[0] + X @ np.asarray(beta[1:]))
+    pi = 1.0 / (1.0 + np.exp(-(gamma[0] + Z[:, 0] * gamma[1])))
+    y = np.where(rng.random(n) < pi, 0, rng.poisson(mu))
+    return X, Z, y
+
+
+class TestFitZip:
+    def test_recovers_count_coefficients(self):
+        X, Z, y = simulate_zip()
+        result = fit_zip(X, y, Z)
+        assert result.count_coef[0] == pytest.approx(0.5, abs=0.1)
+        assert result.count_coef[1] == pytest.approx(0.8, abs=0.06)
+        assert result.count_coef[2] == pytest.approx(-0.3, abs=0.06)
+
+    def test_recovers_zero_coefficients(self):
+        X, Z, y = simulate_zip()
+        result = fit_zip(X, y, Z)
+        assert result.zero_coef[0] == pytest.approx(-1.0, abs=0.15)
+        assert result.zero_coef[1] == pytest.approx(1.2, abs=0.15)
+
+    def test_standard_errors_positive(self):
+        X, Z, y = simulate_zip(n=2000)
+        result = fit_zip(X, y, Z)
+        assert (result.count_se > 0).all()
+        assert (result.zero_se > 0).all()
+
+    def test_z_and_p_shapes(self):
+        X, Z, y = simulate_zip(n=1000)
+        result = fit_zip(X, y, Z)
+        assert len(result.count_z) == len(result.count_coef)
+        assert ((result.zero_p >= 0) & (result.zero_p <= 1)).all()
+
+    def test_pct_zero(self):
+        X, Z, y = simulate_zip(n=1000)
+        result = fit_zip(X, y, Z)
+        assert result.pct_zero == pytest.approx((y == 0).mean() * 100)
+
+    def test_mcfadden_in_range(self):
+        X, Z, y = simulate_zip(n=1500)
+        result = fit_zip(X, y, Z)
+        assert 0.0 < result.mcfadden_r2 < 1.0
+
+    def test_default_z_is_x(self):
+        X, Z, y = simulate_zip(n=800)
+        result = fit_zip(X, y)  # Z defaults to X
+        assert len(result.zero_coef) == X.shape[1] + 1
+
+    def test_zip_beats_poisson_on_inflated_data(self):
+        X, Z, y = simulate_zip(n=4000)
+        zipr = fit_zip(X, y, Z)
+        pois = fit_poisson(X, y)
+        assert zipr.log_likelihood > pois.log_likelihood + 10
+        v = vuong_test(
+            zipr.loglik_terms(X, Z, y),
+            pois.loglik_terms(X, y),
+            zipr.n_params,
+            len(pois.coef),
+        )
+        assert v.favours_model1
+        assert v.p_value < 0.01
+
+    def test_predict_mean_close_to_observed(self):
+        X, Z, y = simulate_zip(n=4000)
+        result = fit_zip(X, y, Z)
+        assert result.predict_mean(X, Z).mean() == pytest.approx(y.mean(), rel=0.1)
+
+    def test_loglik_terms_sum(self):
+        X, Z, y = simulate_zip(n=600)
+        result = fit_zip(X, y, Z)
+        assert result.loglik_terms(X, Z, y).sum() == pytest.approx(
+            result.log_likelihood, rel=1e-5
+        )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fit_zip(np.ones((3, 1)), np.array([1, -2, 0]))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            fit_zip(np.ones((3, 1)), np.array([1, 0, 2]), np.ones((2, 1)))
+
+    def test_names_forwarded(self):
+        X, Z, y = simulate_zip(n=400)
+        result = fit_zip(X, y, Z, count_names=["a", "b"], zero_names=["c"])
+        assert result.count_names == ["(Intercept)", "a", "b"]
+        assert result.zero_names == ["(Intercept)", "c"]
+
+    def test_aic_bic_finite(self):
+        X, Z, y = simulate_zip(n=500)
+        result = fit_zip(X, y, Z)
+        assert np.isfinite(result.aic)
+        assert result.bic > result.aic  # n > e^2
+
+
+class TestVuong:
+    def test_identical_models_indistinguishable(self):
+        ll = np.random.default_rng(0).normal(size=100)
+        result = vuong_test(ll, ll.copy())
+        assert result.statistic == 0.0
+        assert result.p_value == 1.0
+
+    def test_clear_winner(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(-1.0, 0.3, size=400)
+        gains = rng.uniform(0.2, 0.8, size=400)
+        result = vuong_test(base + gains, base)
+        assert result.favours_model1
+        assert result.significant
+
+    def test_correction_penalises_extra_params(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(-1.0, 0.3, size=400)
+        tiny_gain = base + rng.uniform(0.0, 0.002, size=400)
+        uncorrected = vuong_test(tiny_gain, base, correction=False)
+        corrected = vuong_test(tiny_gain, base, 10, 2, correction=True)
+        assert corrected.statistic < uncorrected.statistic
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            vuong_test(np.zeros(5), np.zeros(6))
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            vuong_test(np.zeros(1), np.zeros(1))

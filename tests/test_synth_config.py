@@ -1,0 +1,124 @@
+"""Tests for the simulator configuration tables and curve interpolation."""
+
+import pytest
+
+from repro.core import ContractType, Month
+from repro.core.eras import all_months
+from repro.synth import config as cfg
+from repro.synth.config import (
+    CLASS_NAMES,
+    ClassScheduleEntry,
+    MAKE_RATES,
+    TAKE_RATES,
+    SimulationConfig,
+    interpolate_curve,
+)
+
+
+class TestInterpolateCurve:
+    def test_exact_at_anchors(self):
+        months = all_months()
+        curve = interpolate_curve([("2018-06", 10.0), ("2018-08", 30.0)], months)
+        assert curve[Month(2018, 6)] == 10.0
+        assert curve[Month(2018, 8)] == 30.0
+
+    def test_linear_between_anchors(self):
+        months = all_months()
+        curve = interpolate_curve([("2018-06", 10.0), ("2018-08", 30.0)], months)
+        assert curve[Month(2018, 7)] == pytest.approx(20.0)
+
+    def test_clamped_outside_anchors(self):
+        months = all_months()
+        curve = interpolate_curve([("2019-01", 5.0), ("2019-03", 9.0)], months)
+        assert curve[Month(2018, 6)] == 5.0
+        assert curve[Month(2020, 6)] == 9.0
+
+    def test_single_anchor_constant(self):
+        months = all_months()
+        curve = interpolate_curve([("2019-01", 7.0)], months)
+        assert all(v == 7.0 for v in curve.values())
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate_curve([], all_months())
+
+    def test_unsorted_anchors_handled(self):
+        months = all_months()
+        curve = interpolate_curve(
+            [("2019-03", 9.0), ("2019-01", 5.0)], months
+        )
+        assert curve[Month(2019, 2)] == pytest.approx(7.0)
+
+
+class TestClassTables:
+    def test_twelve_classes(self):
+        assert len(CLASS_NAMES) == 12
+        assert set(MAKE_RATES) == set(CLASS_NAMES)
+        assert set(TAKE_RATES) == set(CLASS_NAMES)
+
+    def test_paper_rates_spot_checks(self):
+        """Table 6 values transcribed correctly."""
+        assert MAKE_RATES["K"][ContractType.EXCHANGE] == 31.2
+        assert TAKE_RATES["L"][ContractType.SALE] == 54.9
+        assert MAKE_RATES["H"][ContractType.PURCHASE] == 10.0
+        assert MAKE_RATES["C"][ContractType.SALE] == 1.1
+        assert TAKE_RATES["A"][ContractType.SALE] == 10.1
+
+    def test_rates_non_negative(self):
+        for table in (MAKE_RATES, TAKE_RATES):
+            for rates in table.values():
+                assert all(rate >= 0 for rate in rates.values())
+
+    def test_tiers_cover_all_classes(self):
+        assert set(cfg.CLASS_TIERS) == set(CLASS_NAMES)
+        assert set(cfg.CLASS_TIERS.values()) == {"single", "mid", "power"}
+
+
+class TestSchedules:
+    def test_schedule_entry_interpolation(self):
+        entry = ClassScheduleEntry(10.0, 20.0)
+        assert entry.at(0.0) == 10.0
+        assert entry.at(1.0) == 20.0
+        assert entry.at(0.5) == 15.0
+
+    def test_config_class_weight_positive(self):
+        config = SimulationConfig(scale=0.01)
+        for name in CLASS_NAMES:
+            for era_index in range(3):
+                assert config.class_weight(name, era_index, 0.5) > 0
+
+    def test_l_class_emerges_in_stable(self):
+        """SALE-taker power-users only appear from STABLE (the narrative)."""
+        config = SimulationConfig(scale=0.01)
+        setup_weight = config.class_weight("L", 0, 0.5)
+        stable_weight = config.class_weight("L", 1, 0.5)
+        assert stable_weight > 10 * setup_weight
+
+
+class TestStatusTables:
+    def test_status_probs_normalised(self):
+        for probs in cfg.STATUS_PROBS.values():
+            assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_verify_mix_sums_to_one(self):
+        assert sum(cfg.VERIFY_MIX.values()) == pytest.approx(1.0)
+
+    def test_reuse_probs_valid(self):
+        for eras in cfg.REUSE_PROBS.values():
+            for start, end in eras:
+                assert 0.0 < start <= 1.0
+                assert 0.0 < end <= 1.0
+
+    def test_completion_inflation_feasible(self):
+        """The inflated COMPLETE mass must fit within the failure mass."""
+        from repro.core import ContractStatus
+
+        for ctype, inflation in cfg.COMPLETION_INFLATION.items():
+            probs = cfg.STATUS_PROBS[ctype]
+            extra = probs[ContractStatus.COMPLETE] * (inflation - 1.0)
+            failure = (
+                probs[ContractStatus.INCOMPLETE]
+                + probs[ContractStatus.CANCELLED]
+                + probs[ContractStatus.EXPIRED]
+            )
+            assert extra < failure

@@ -1,0 +1,259 @@
+"""Calibration tests: the simulated market matches the paper's aggregates.
+
+Tolerances are deliberately wide — the goal is the *shape* of each paper
+statistic (see DESIGN.md's fidelity targets), not exact numbers.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import (
+    COVID19,
+    ContractStatus,
+    ContractType,
+    SETUP,
+    STABLE,
+    Month,
+    Visibility,
+    month_of,
+)
+from repro.synth import MarketSimulator, SimulationConfig, generate_market
+
+
+class TestStructure:
+    def test_contract_count_scales(self, sim_small):
+        # 2% of ~191k monthly targets
+        assert 3000 < len(sim_small.dataset.contracts) < 5000
+
+    def test_unique_contract_ids(self, sim_small):
+        ids = [c.contract_id for c in sim_small.dataset.contracts]
+        assert len(ids) == len(set(ids))
+
+    def test_all_parties_are_users(self, sim_small):
+        dataset = sim_small.dataset
+        known = {u.user_id for u in dataset.users}
+        for contract in dataset.contracts:
+            assert contract.maker_id in known
+            assert contract.taker_id in known
+
+    def test_dates_inside_window(self, sim_small):
+        for contract in sim_small.dataset.contracts:
+            assert dt.date(2018, 6, 1) <= contract.created_at.date() <= dt.date(2020, 6, 30)
+
+    def test_thread_links_resolve(self, sim_small):
+        dataset = sim_small.dataset
+        thread_ids = {t.thread_id for t in dataset.threads}
+        for contract in dataset.contracts:
+            if contract.thread_id is not None:
+                assert contract.thread_id in thread_ids
+
+    def test_private_contracts_have_no_obligations(self, sim_small):
+        for contract in sim_small.dataset.contracts:
+            if contract.visibility == Visibility.PRIVATE:
+                assert contract.maker_obligation == ""
+                assert contract.taker_obligation == ""
+
+    def test_public_contracts_have_obligations(self, sim_small):
+        publics = sim_small.dataset.public()
+        with_text = sum(1 for c in publics if c.maker_obligation)
+        assert with_text / len(publics) > 0.95
+
+    def test_disputed_contracts_public(self, sim_small):
+        for contract in sim_small.dataset.contracts:
+            if contract.status == ContractStatus.DISPUTED:
+                assert contract.visibility == Visibility.PUBLIC
+
+    def test_determinism(self):
+        a = generate_market(scale=0.01, seed=99)
+        b = generate_market(scale=0.01, seed=99)
+        assert len(a.dataset.contracts) == len(b.dataset.contracts)
+        assert a.dataset.contracts[0] == b.dataset.contracts[0]
+        assert a.dataset.contracts[-1] == b.dataset.contracts[-1]
+
+    def test_different_seeds_differ(self):
+        a = generate_market(scale=0.01, seed=1)
+        b = generate_market(scale=0.01, seed=2)
+        assert len(a.dataset.contracts) != len(b.dataset.contracts) or (
+            a.dataset.contracts[0] != b.dataset.contracts[0]
+        )
+
+
+class TestTable1Calibration:
+    def test_type_shares(self, sim_small):
+        contracts = sim_small.dataset.contracts
+        total = len(contracts)
+        shares = {
+            ctype: sum(1 for c in contracts if c.ctype == ctype) / total
+            for ctype in ContractType
+        }
+        assert shares[ContractType.SALE] == pytest.approx(0.649, abs=0.06)
+        assert shares[ContractType.EXCHANGE] == pytest.approx(0.215, abs=0.05)
+        assert shares[ContractType.PURCHASE] == pytest.approx(0.119, abs=0.04)
+        assert shares[ContractType.TRADE] < 0.03
+        assert shares[ContractType.VOUCH_COPY] < 0.02
+
+    def test_overall_completion_rate(self, sim_small):
+        contracts = sim_small.dataset.contracts
+        completed = sum(1 for c in contracts if c.is_complete)
+        assert completed / len(contracts) == pytest.approx(0.435, abs=0.07)
+
+    def test_exchange_completes_twice_as_often_as_sale(self, sim_small):
+        contracts = sim_small.dataset.contracts
+
+        def completion(ctype):
+            subset = [c for c in contracts if c.ctype == ctype]
+            return sum(1 for c in subset if c.is_complete) / len(subset)
+
+        # paper ratio ~2.1; wide band for small-scale demotion variance
+        assert completion(ContractType.EXCHANGE) > 1.4 * completion(ContractType.SALE)
+
+    def test_dispute_rate_low(self, sim_small):
+        contracts = sim_small.dataset.contracts
+        disputed = sum(1 for c in contracts if c.status == ContractStatus.DISPUTED)
+        assert 0.002 < disputed / len(contracts) < 0.035
+
+
+class TestVisibilityCalibration:
+    def test_overall_public_share(self, sim_small):
+        contracts = sim_small.dataset.contracts
+        public = sum(1 for c in contracts if c.is_public)
+        assert public / len(contracts) == pytest.approx(0.13, abs=0.05)
+
+    def test_public_completes_more(self, sim_small):
+        contracts = sim_small.dataset.contracts
+        public = [c for c in contracts if c.is_public]
+        private = [c for c in contracts if not c.is_public]
+        public_rate = sum(1 for c in public if c.is_complete) / len(public)
+        private_rate = sum(1 for c in private if c.is_complete) / len(private)
+        assert public_rate > private_rate
+
+    def test_public_share_declines_over_eras(self, sim_small):
+        dataset = sim_small.dataset
+
+        def share(era):
+            subset = dataset.in_era(era)
+            return sum(1 for c in subset if c.is_public) / len(subset)
+
+        assert share(SETUP) > 2 * share(STABLE)
+        assert share(STABLE) >= share(COVID19) * 0.7
+
+
+class TestFigure1Calibration:
+    def test_march_2019_policy_jump(self, sim_small):
+        by_month = sim_small.dataset.contracts_by_created_month()
+        feb = len(by_month[Month(2019, 2)])
+        mar = len(by_month[Month(2019, 3)])
+        assert mar > 2.0 * feb
+
+    def test_april_2020_covid_peak(self, sim_small):
+        by_month = sim_small.dataset.contracts_by_created_month()
+        feb20 = len(by_month[Month(2020, 2)])
+        apr20 = len(by_month[Month(2020, 4)])
+        jun20 = len(by_month[Month(2020, 6)])
+        assert apr20 > 1.3 * feb20
+        assert apr20 > jun20  # short-lived peak then decline
+
+    def test_setup_growth(self, sim_small):
+        by_month = sim_small.dataset.contracts_by_created_month()
+        start = len(by_month[Month(2018, 6)])
+        end = len(by_month[Month(2019, 2)])
+        assert end > 1.4 * start
+
+    def test_every_month_has_contracts(self, sim_small):
+        by_month = sim_small.dataset.contracts_by_created_month()
+        assert len(by_month) == 25
+
+
+class TestTypeMixEvolution:
+    def test_market_composition_shift_at_stable(self, sim_small):
+        """EXCHANGE and SALE swap positions when contracts become mandatory."""
+        dataset = sim_small.dataset
+        early = (
+            dataset.in_month(Month(2018, 6))
+            + dataset.in_month(Month(2018, 7))
+            + dataset.in_month(Month(2018, 8))
+        )
+        late = dataset.in_month(Month(2019, 4)) + dataset.in_month(Month(2019, 5))
+
+        def share(contracts, ctype):
+            return sum(1 for c in contracts if c.ctype == ctype) / len(contracts)
+
+        # SET-UP: exchange ~50%, sale ~40% (wide band for 2% scale noise)
+        assert share(early, ContractType.EXCHANGE) > 0.35
+        assert share(early, ContractType.SALE) < 0.55
+        # STABLE: sale dominates ~70%, exchange under 25%
+        assert share(late, ContractType.SALE) > 0.58
+        assert share(late, ContractType.EXCHANGE) < 0.28
+        # and the swap itself
+        assert share(early, ContractType.EXCHANGE) > share(late, ContractType.EXCHANGE)
+        assert share(late, ContractType.SALE) > share(early, ContractType.SALE)
+
+    def test_vouch_copy_only_from_feb_2020(self, sim_small):
+        for contract in sim_small.dataset.contracts:
+            if contract.ctype == ContractType.VOUCH_COPY:
+                assert contract.created_at.date() >= dt.date(2020, 1, 15)
+
+
+class TestCompletionTimes:
+    def test_completion_faster_over_time(self, sim_small):
+        dataset = sim_small.dataset
+
+        def mean_hours(months):
+            hours = [
+                c.completion_hours
+                for c in dataset.contracts
+                if c.completion_hours is not None
+                and month_of(c.created_at) in months
+            ]
+            return sum(hours) / len(hours)
+
+        early = mean_hours({Month(2018, 6), Month(2018, 7), Month(2018, 8)})
+        late = mean_hours({Month(2020, 4), Month(2020, 5), Month(2020, 6)})
+        assert late < early / 3
+
+    def test_completion_date_share(self, sim_small):
+        completed = sim_small.dataset.completed()
+        dated = sum(1 for c in completed if c.completed_at is not None)
+        assert dated / len(completed) == pytest.approx(0.72, abs=0.05)
+
+
+class TestLedgerAndVotes:
+    def test_ledger_transactions_exist(self, sim_small):
+        assert len(sim_small.ledger) > 20
+
+    def test_chain_refs_resolve_or_miss_cleanly(self, sim_small):
+        resolved = 0
+        for contract in sim_small.dataset.contracts:
+            if contract.btc_txhash and contract.is_complete:
+                if sim_small.ledger.lookup(contract.btc_txhash):
+                    resolved += 1
+        assert resolved > 0
+
+    def test_reputation_votes_mostly_positive(self, sim_small):
+        ratings = sim_small.dataset.ratings
+        positive = sum(1 for r in ratings if r.score > 0)
+        assert positive / len(ratings) > 0.8
+
+    def test_truth_covers_contracts(self, sim_small):
+        truth = sim_small.truth
+        dataset = sim_small.dataset
+        assert len(truth.maker_class) == len(dataset.contracts)
+        publics = dataset.public()
+        assert len(truth.specs) == len(publics)
+
+
+class TestConfig:
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(scale=0)
+
+    def test_posts_can_be_disabled(self):
+        result = generate_market(scale=0.005, seed=5, generate_posts=False)
+        assert len(result.dataset.posts) == 0
+
+    def test_threads_can_be_disabled(self):
+        result = generate_market(scale=0.005, seed=5, generate_threads=False,
+                                 generate_posts=False)
+        assert len(result.dataset.threads) == 0
+        assert all(c.thread_id is None for c in result.dataset.contracts)

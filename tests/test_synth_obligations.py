@@ -1,0 +1,155 @@
+"""Tests that generated obligations are recoverable by the text pipeline."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.blockchain import RateOracle
+from repro.core import ContractType
+from repro.synth.obligations import ObligationGenerator
+from repro.text.payments import extract_payment_methods
+from repro.text.taxonomy import UNCATEGORISED, categorize_sides
+from repro.text.values import extract_values
+
+WHEN = dt.date(2019, 6, 15)
+
+
+@pytest.fixture()
+def generator():
+    return ObligationGenerator(np.random.default_rng(42), RateOracle())
+
+
+def generate_many(generator, ctype, n=300, era=1):
+    return [generator.generate(ctype, era, WHEN) for _ in range(n)]
+
+
+class TestCategoryRecovery:
+    @pytest.mark.parametrize("ctype", list(ContractType))
+    def test_intended_categories_recovered(self, generator, ctype):
+        """The regex taxonomy must find the generator's intended buckets."""
+        specs = generate_many(generator, ctype, n=200)
+        hits = 0
+        checked = 0
+        for spec in specs:
+            if spec.categories == {UNCATEGORISED}:
+                continue
+            checked += 1
+            found = categorize_sides(spec.maker_text, spec.taker_text)
+            if spec.categories & found:
+                hits += 1
+        assert checked > 0
+        assert hits / checked > 0.95
+
+    def test_vague_specs_uncategorised(self, generator):
+        generator.vague_prob = 1.0
+        spec = generator.generate(ContractType.SALE, 1, WHEN)
+        assert spec.categories == {UNCATEGORISED}
+        found = categorize_sides(spec.maker_text, spec.taker_text)
+        assert found == {UNCATEGORISED}
+
+    def test_exchange_mostly_currency(self, generator):
+        specs = generate_many(generator, ContractType.EXCHANGE, n=300)
+        currency = sum(1 for s in specs if "currency_exchange" in s.categories)
+        assert currency / len(specs) > 0.6
+
+    def test_vouch_copy_is_hackforums(self, generator):
+        specs = generate_many(generator, ContractType.VOUCH_COPY, n=100)
+        real = [s for s in specs if s.categories != {UNCATEGORISED}]
+        assert all("hackforums_related" in s.categories for s in real)
+
+
+class TestMethodAndValueRecovery:
+    def test_methods_recovered(self, generator):
+        specs = generate_many(generator, ContractType.EXCHANGE, n=200)
+        hits = checked = 0
+        for spec in specs:
+            if not spec.methods:
+                continue
+            checked += 1
+            found = extract_payment_methods(
+                spec.maker_text + " " + spec.taker_text
+            )
+            if spec.methods <= found:
+                hits += 1
+        assert hits / checked > 0.9
+
+    def test_values_extractable(self, generator):
+        specs = generate_many(generator, ContractType.SALE, n=200)
+        hits = checked = 0
+        for spec in specs:
+            if spec.value_usd <= 0:
+                continue
+            checked += 1
+            values = extract_values(spec.maker_text) + extract_values(spec.taker_text)
+            if values:
+                hits += 1
+        assert hits / checked > 0.95
+
+    def test_values_capped(self, generator):
+        specs = generate_many(generator, ContractType.EXCHANGE, n=500)
+        assert all(s.value_usd <= 9900.0 for s in specs)
+
+    def test_exchange_two_distinct_methods(self, generator):
+        specs = generate_many(generator, ContractType.EXCHANGE, n=100)
+        for spec in specs:
+            if "currency_exchange" in spec.categories and len(spec.methods) >= 2:
+                break
+        else:
+            pytest.fail("no two-method exchange generated")
+
+    def test_bitcoin_flag_consistent(self, generator):
+        specs = generate_many(generator, ContractType.EXCHANGE, n=200)
+        for spec in specs:
+            if spec.uses_bitcoin:
+                assert "bitcoin" in spec.methods
+
+    def test_purchase_maker_is_payer(self, generator):
+        """PURCHASE: the maker (buyer) side should carry payment text."""
+        generator.vague_prob = 0.0
+        payer_sides = 0
+        total = 0
+        for _ in range(100):
+            spec = generator.generate(ContractType.PURCHASE, 1, WHEN)
+            if "currency_exchange" in spec.categories:
+                continue
+            total += 1
+            methods = extract_payment_methods(spec.maker_text)
+            if methods:
+                payer_sides += 1
+        assert total > 0
+        assert payer_sides / total > 0.9
+
+    def test_typo_flag_inflates_stated_value(self, generator):
+        generator.vague_prob = 0.0
+        typo_specs = []
+        for _ in range(4000):
+            spec = generator.generate(ContractType.EXCHANGE, 1, WHEN)
+            if spec.is_typo:
+                typo_specs.append(spec)
+        for spec in typo_specs:
+            values = extract_values(spec.maker_text)
+            if not values:
+                continue
+            stated = max(v.amount for v in values if v.currency == "USD")
+            assert stated > spec.maker_usd * 5
+
+
+class TestSamplers:
+    def test_era_factor_shifts_categories(self, generator):
+        rng_counts = {0: 0, 2: 0}
+        for era in (0, 2):
+            for _ in range(600):
+                cat = generator.pick_category(ContractType.SALE, era)
+                if cat == "hackforums_related":
+                    rng_counts[era] += 1
+        # hackforums-related surges in COVID (era factor 2.2 vs 1.3)
+        assert rng_counts[2] > rng_counts[0]
+
+    def test_pick_method_exclusion(self, generator):
+        for _ in range(100):
+            assert generator.pick_method(1, exclude="bitcoin") != "bitcoin"
+
+    def test_pick_value_positive(self, generator):
+        for category in ("currency_exchange", "giftcard", "academic_help"):
+            assert generator.pick_value(category) > 0

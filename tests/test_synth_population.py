@@ -1,0 +1,113 @@
+"""Tests for the population / roster model."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeutils import Month
+from repro.synth import config as cfg
+from repro.synth.population import Population
+
+
+@pytest.fixture()
+def population():
+    return Population(np.random.default_rng(0), Month(2018, 6))
+
+
+class TestSpawnAndAcquire:
+    def test_acquire_creates_users(self, population):
+        ids = population.acquire_actors("C", 20, 0, Month(2018, 6), 0)
+        assert len(ids) == 20
+        assert len(population.users) >= 1
+        assert all(population.class_of[int(u)] == "C" for u in ids)
+
+    def test_zero_count(self, population):
+        ids = population.acquire_actors("C", 0, 0, Month(2018, 6), 0)
+        assert len(ids) == 0
+
+    def test_user_ids_unique_and_positive(self, population):
+        population.acquire_actors("C", 50, 0, Month(2018, 6), 0)
+        ids = [u.user_id for u in population.users]
+        assert len(ids) == len(set(ids))
+        assert min(ids) >= 1
+
+    def test_power_tier_reuses_heavily(self, population):
+        month = Month(2018, 6)
+        for month_index in range(6):
+            population.begin_month(month_index)
+            population.acquire_actors("K", 50, month_index, month, 0, 0.5)
+        # power users: few distinct users despite 300 slots
+        k_users = [u for u in population.users if u.latent_class == "K"]
+        assert len(k_users) < 60
+
+    def test_single_tier_churns(self, population):
+        month = Month(2018, 6)
+        for month_index in range(6):
+            population.begin_month(month_index)
+            population.acquire_actors("C", 50, month_index, month, 0, 0.5)
+        c_users = [u for u in population.users if u.latent_class == "C"]
+        assert len(c_users) > 60
+
+    def test_attachment_concentrates_activity(self):
+        population = Population(np.random.default_rng(1), Month(2018, 6), attachment_alpha=1.0)
+        counts = {}
+        for month_index in range(8):
+            population.begin_month(month_index)
+            ids = population.acquire_actors("L", 40, month_index, Month(2018, 6), 1, 0.5)
+            for user in ids:
+                counts[int(user)] = counts.get(int(user), 0) + 1
+        top = max(counts.values())
+        assert top > 320 / len(counts)  # clearly above the uniform share
+
+    def test_scam_propensity_assigned(self, population):
+        population.acquire_actors("C", 10, 0, Month(2018, 6), 0)
+        for user in population.users:
+            assert 0.0 <= population.scam_propensity[user.user_id] < 1.0
+
+    def test_non_completer_flags_power_exempt(self):
+        population = Population(np.random.default_rng(2), Month(2018, 6))
+        population.acquire_actors("K", 200, 0, Month(2018, 6), 0, 0.0)
+        k_flags = [
+            population.non_completer[u.user_id]
+            for u in population.users
+            if u.latent_class == "K"
+        ]
+        assert not any(k_flags)
+
+    def test_non_completer_flags_present_for_singles(self):
+        population = Population(np.random.default_rng(3), Month(2018, 6))
+        population.acquire_actors("C", 500, 0, Month(2018, 6), 0, 0.0)
+        flags = [population.non_completer[u.user_id] for u in population.users]
+        share = sum(flags) / len(flags)
+        assert 0.1 < share < 0.45
+
+
+class TestRosterLifecycle:
+    def test_cull_removes_expired(self, population):
+        population.acquire_actors("C", 30, 0, Month(2018, 6), 0)
+        size_before = population.roster_size("C")
+        population.begin_month(50)  # far in the future: everyone expired
+        assert population.roster_size("C") < size_before
+
+    def test_active_user_ids(self, population):
+        population.acquire_actors("C", 5, 0, Month(2018, 6), 0)
+        population.acquire_actors("K", 5, 0, Month(2018, 6), 0)
+        assert len(population.active_user_ids()) >= 2
+
+    def test_resolve_collision_avoids_forbidden(self, population):
+        ids = population.acquire_actors("C", 10, 0, Month(2018, 6), 0)
+        forbidden = int(ids[0])
+        for _ in range(20):
+            other = population.resolve_collision("C", forbidden, 0, Month(2018, 6), 0)
+            assert other != forbidden
+
+    def test_resolve_collision_spawns_when_empty(self, population):
+        # class L roster empty -> must spawn a fresh user
+        user = population.resolve_collision("L", 1, 0, Month(2018, 6), 0)
+        assert population.class_of[user] == "L"
+
+    def test_setup_users_have_forum_history(self):
+        population = Population(np.random.default_rng(4), Month(2018, 6))
+        ids = population.acquire_actors("C", 50, 0, Month(2018, 6), 0)
+        joined = [population.users[i].joined_forum_at for i in range(len(population.users))]
+        spans = [(Month(2018, 6).first_day() - j.date()).days for j in joined]
+        assert max(spans) > 100  # SET-UP users predate the contract system

@@ -1,0 +1,65 @@
+"""Tests for obligation-text normalisation."""
+
+from repro.text.normalize import normalize, tokenize, unify_synonyms
+
+
+class TestSynonyms:
+    def test_payment_slang(self):
+        assert "bitcoin" in unify_synonyms("selling 0.5 BTC")
+        assert "paypal" in unify_synonyms("want PP for it")
+        assert "amazon giftcard" in unify_synonyms("have amazon gc")
+        assert "cashapp" in unify_synonyms("via cash app")
+
+    def test_longest_match_wins(self):
+        result = unify_synonyms("amazon gift card for sale")
+        assert "amazon giftcard" in result
+        assert "gift card" not in result
+
+    def test_word_boundaries(self):
+        # 'pp' inside a word must not become paypal
+        assert "paypal" not in unify_synonyms("shipping included")
+
+    def test_goods_slang(self):
+        assert "hackforums" in unify_synonyms("need hf bytes")
+        assert "youtube" in unify_synonyms("yt views")
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("SELLING Bitcoin") == "selling bitcoin"
+
+    def test_strips_delimiters(self):
+        assert normalize("logo-design, cheap!") == "logo design cheap"
+
+    def test_keeps_digits_by_default(self):
+        assert "100" in normalize("100 usd")
+
+    def test_strip_digits_option(self):
+        assert "100" not in normalize("100 usd", strip_digits=True)
+
+    def test_removes_stopwords(self):
+        result = normalize("i will send the money to you")
+        assert "the" not in result.split()
+        assert "money" in result.split()
+
+    def test_empty_input(self):
+        assert normalize("") == ""
+        assert normalize("   ") == ""
+
+    def test_idempotent(self):
+        text = "Exchanging $100 PP for BTC!"
+        once = normalize(text)
+        assert normalize(once) == once
+
+
+class TestTokenize:
+    def test_tokens(self):
+        tokens = tokenize("selling fortnite account - cheap")
+        assert "fortnite" in tokens
+        assert "account" in tokens
+
+    def test_digits_stripped_by_default(self):
+        assert "100" not in tokenize("100 usd")
+
+    def test_empty(self):
+        assert tokenize("") == []

@@ -1,0 +1,71 @@
+"""Tests for payment-method extraction."""
+
+import pytest
+
+from repro.text.payments import (
+    PAYMENT_LABELS,
+    PAYMENT_METHODS,
+    PaymentExtractor,
+    extract_payment_methods,
+)
+
+
+class TestExtraction:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("$100 worth of btc", "bitcoin"),
+            ("$50 paypal friends and family", "paypal"),
+            ("$25 amazon gc code", "amazon_giftcard"),
+            ("$30 via cashapp", "cashapp"),
+            ("200 usd cash", "usd"),
+            ("$75 worth of eth", "ethereum"),
+            ("$20 venmo", "venmo"),
+            ("5,000 v-bucks worth $40", "vbucks"),
+            ("$60 zelle transfer", "zelle"),
+            ("$15 in bch", "bitcoin_cash"),
+            ("$10 in ltc", "litecoin"),
+            ("$12 in xmr", "monero"),
+            ("$99 apple pay balance", "apple_google_pay"),
+            ("$44 skrill", "skrill"),
+        ],
+    )
+    def test_method_detection(self, text, expected):
+        assert expected in extract_payment_methods(text)
+
+    def test_bitcoin_cash_not_bitcoin(self):
+        methods = extract_payment_methods("send bitcoin cash only")
+        assert methods == {"bitcoin_cash"}
+
+    def test_both_bitcoin_variants(self):
+        methods = extract_payment_methods("bitcoin or bitcoin cash accepted")
+        assert "bitcoin" in methods
+        assert "bitcoin_cash" in methods
+
+    def test_multiple_methods(self):
+        methods = extract_payment_methods("exchange btc for pp or amazon gc")
+        assert methods == {"bitcoin", "paypal", "amazon_giftcard"}
+
+    def test_empty_text(self):
+        assert extract_payment_methods("") == set()
+
+    def test_no_method(self):
+        assert extract_payment_methods("selling a tutorial") == set()
+
+    def test_dollar_store_not_usd(self):
+        assert "usd" not in extract_payment_methods("dollar store goods")
+
+
+class TestExtractor:
+    def test_sides_union(self):
+        extractor = PaymentExtractor()
+        methods = extractor.extract_sides("$100 paypal", "$100 worth of btc")
+        assert methods == {"paypal", "bitcoin"}
+
+    def test_labels_cover_all_methods(self):
+        for method in PAYMENT_METHODS:
+            assert method in PAYMENT_LABELS
+
+    def test_custom_patterns(self):
+        extractor = PaymentExtractor([("shells", r"\bseashells?\b")])
+        assert extractor.extract("pay in seashells") == {"shells"}

@@ -1,0 +1,99 @@
+"""Tests for the trading-activity regex taxonomy."""
+
+import pytest
+
+from repro.text.taxonomy import (
+    CATEGORIES,
+    CATEGORY_LABELS,
+    PAYMENT_RELATED_CATEGORIES,
+    UNCATEGORISED,
+    ActivityCategorizer,
+    categorize_sides,
+    categorize_text,
+)
+
+
+class TestCategories:
+    def test_sixteen_buckets(self):
+        assert len(CATEGORIES) == 16
+        assert len(set(CATEGORIES)) == 16
+
+    def test_labels_cover_all(self):
+        for key in CATEGORIES:
+            assert key in CATEGORY_LABELS
+
+    def test_payment_related_subset(self):
+        assert PAYMENT_RELATED_CATEGORIES <= set(CATEGORIES)
+
+
+class TestSingleCategory:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("exchanging $100 paypal for bitcoin", "currency_exchange"),
+            ("payment of $50 via cashapp", "payments"),
+            ("google play giftcard code", "giftcard"),
+            ("netflix premium account", "accounts_licenses"),
+            ("runescape gold 100m", "gaming"),
+            ("hackforums bytes transfer", "hackforums_related"),
+            ("custom logo design", "multimedia"),
+            ("python script development", "hacking_programming"),
+            ("1000 instagram followers boost", "social_network_boost"),
+            ("money making method ebook", "tutorials_guides"),
+            ("remote access tool license", "tools_bots_software"),
+            ("seo marketing service", "marketing"),
+            ("ewhoring starter bundle", "ewhoring"),
+            ("worldwide delivery of goods", "delivery_shipping"),
+            ("essay writing help", "academic_help"),
+            ("giveaway prize fulfilment", "contest_award"),
+        ],
+    )
+    def test_bucket_detection(self, text, expected):
+        assert expected in categorize_text(text)
+
+    def test_multi_category(self):
+        cats = categorize_text("buying fortnite account")
+        assert "gaming" in cats
+        assert "accounts_licenses" in cats
+
+    def test_uncategorised_for_vague(self):
+        assert categorize_text("as discussed") == {UNCATEGORISED}
+
+    def test_uncategorised_for_short(self):
+        assert categorize_text("ok") == {UNCATEGORISED}
+        assert categorize_text("") == {UNCATEGORISED}
+
+    def test_giftcard_code_not_hacking(self):
+        # regression: "code" used to trip the hacking/programming bucket
+        cats = categorize_text("amazon giftcard code")
+        assert "hacking_programming" not in cats
+
+    def test_paypal_not_payments(self):
+        # 'paypal' alone must not match the 'pay' word pattern
+        cats = categorize_text("bitcoin paypal swap rates")
+        assert "payments" not in cats
+
+
+class TestSides:
+    def test_union_of_sides(self):
+        cats = categorize_sides(
+            "exchanging $100 paypal for bitcoin",
+            "payment of $100 worth of bitcoin",
+        )
+        assert "currency_exchange" in cats
+        assert "payments" in cats
+
+    def test_empty_sides(self):
+        assert categorize_sides("", "") == {UNCATEGORISED}
+
+
+class TestCustomCategorizer:
+    def test_custom_patterns(self):
+        custom = ActivityCategorizer([("weapons", r"\bsword\b")])
+        assert custom.categorize("magic sword for sale") == {"weapons"}
+        assert custom.categorize("a shield") == {UNCATEGORISED}
+
+    def test_min_length_adjustable(self):
+        categorizer = ActivityCategorizer()
+        categorizer.min_length = 100
+        assert categorizer.categorize("netflix account") == {UNCATEGORISED}

@@ -1,0 +1,119 @@
+"""Tests for value extraction and the §4.5 estimation rules."""
+
+import datetime as dt
+
+import pytest
+
+from repro.blockchain import RateOracle
+from repro.core import Contract, ContractStatus, ContractType, Visibility
+from repro.text.values import (
+    estimate_contract_value,
+    extract_values,
+)
+
+NOW = dt.datetime(2019, 6, 15, 12, 0)
+
+
+def public_contract(maker_text, taker_text, *, cid=1, vis=Visibility.PUBLIC):
+    return Contract(
+        contract_id=cid,
+        ctype=ContractType.EXCHANGE,
+        status=ContractStatus.COMPLETE,
+        visibility=vis,
+        maker_id=1,
+        taker_id=2,
+        created_at=NOW,
+        completed_at=NOW + dt.timedelta(hours=4),
+        maker_obligation=maker_text,
+        taker_obligation=taker_text,
+    )
+
+
+class TestExtractValues:
+    def test_dollar_amount(self):
+        values = extract_values("sending $150 paypal")
+        assert len(values) == 1
+        assert values[0].amount == 150.0
+        assert values[0].currency == "USD"
+
+    def test_thousands_separator(self):
+        values = extract_values("$1,250.50 up front")
+        assert values[0].amount == pytest.approx(1250.50)
+
+    def test_pound_and_euro_symbols(self):
+        currencies = {v.currency for v in extract_values("£50 or €45")}
+        assert currencies == {"GBP", "EUR"}
+
+    def test_word_denomination(self):
+        values = extract_values("0.05 btc for the account")
+        assert values[0].currency == "BTC"
+        assert values[0].amount == pytest.approx(0.05)
+
+    def test_usd_settled_instruments(self):
+        values = extract_values("send 40 paypal")
+        assert values[0].currency == "USD"
+
+    def test_bare_number_ignored(self):
+        # "1000 followers" carries no denomination and must not be a value
+        assert extract_values("1000 instagram followers") == []
+
+    def test_no_double_count_on_overlap(self):
+        # "$105 worth of bitcoin (0.012 btc)" -> the two values are
+        # restatements; extraction returns both, estimation averages them
+        values = extract_values("$105 worth of btc (0.012 btc)")
+        assert len(values) == 2
+
+    def test_empty(self):
+        assert extract_values("") == []
+
+
+class TestEstimateContractValue:
+    def setup_method(self):
+        self.rates = RateOracle()
+
+    def test_both_sides_averaged(self):
+        contract = public_contract("sending $100 paypal", "sending $120 usd cash")
+        value = estimate_contract_value(contract, self.rates)
+        assert value.usd == pytest.approx(110.0)
+        assert value.maker_usd == pytest.approx(100.0)
+        assert value.taker_usd == pytest.approx(120.0)
+
+    def test_single_side_equal_value_rule(self):
+        contract = public_contract("sending $200 paypal", "dissertation help")
+        value = estimate_contract_value(contract, self.rates)
+        assert value.usd == pytest.approx(200.0)
+        assert value.taker_usd is None
+
+    def test_restatement_averaged_not_summed(self):
+        rate = self.rates.usd_per_unit("BTC", NOW.date())
+        btc = 105.0 / rate
+        contract = public_contract(
+            f"sending $105 worth of btc ({btc:.6f} btc)", ""
+        )
+        value = estimate_contract_value(contract, self.rates)
+        # ~105, not ~210
+        assert value.usd == pytest.approx(105.0, rel=0.05)
+
+    def test_distinct_items_summed(self):
+        contract = public_contract("$10 item and $500 item", "")
+        value = estimate_contract_value(contract, self.rates)
+        assert value.maker_usd == pytest.approx(510.0)
+
+    def test_private_contract_skipped(self):
+        contract = public_contract("$100 paypal", "", vis=Visibility.PRIVATE)
+        assert estimate_contract_value(contract, self.rates) is None
+
+    def test_no_values_returns_none(self):
+        contract = public_contract("as discussed", "see thread")
+        assert estimate_contract_value(contract, self.rates) is None
+
+    def test_btc_converted_at_rate(self):
+        contract = public_contract("0.1 btc", "")
+        value = estimate_contract_value(contract, self.rates)
+        expected = self.rates.to_usd(0.1, "BTC", NOW.date())
+        assert value.usd == pytest.approx(expected)
+
+    def test_currencies_recorded(self):
+        contract = public_contract("sending $100 paypal", "0.01 btc")
+        value = estimate_contract_value(contract, self.rates)
+        assert set(value.currencies) == {"USD", "BTC"}

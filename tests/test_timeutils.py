@@ -1,0 +1,97 @@
+"""Unit tests for the Month calendar type and helpers."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.timeutils import (
+    Month,
+    add_months,
+    month_of,
+    month_range,
+    months_between,
+)
+
+
+class TestMonth:
+    def test_ordering(self):
+        assert Month(2019, 3) < Month(2019, 4)
+        assert Month(2018, 12) < Month(2019, 1)
+        assert Month(2020, 6) == Month(2020, 6)
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(ValueError):
+            Month(2019, 0)
+        with pytest.raises(ValueError):
+            Month(2019, 13)
+
+    def test_first_and_last_day(self):
+        month = Month(2020, 2)  # leap year
+        assert month.first_day() == dt.date(2020, 2, 1)
+        assert month.last_day() == dt.date(2020, 2, 29)
+        assert month.days() == 29
+
+    def test_non_leap_february(self):
+        assert Month(2019, 2).days() == 28
+
+    def test_next_and_prev_wrap_year(self):
+        assert Month(2018, 12).next() == Month(2019, 1)
+        assert Month(2019, 1).prev() == Month(2018, 12)
+
+    def test_next_prev_roundtrip(self):
+        month = Month(2019, 7)
+        assert month.next().prev() == month
+
+    def test_index_from(self):
+        origin = Month(2018, 6)
+        assert Month(2018, 6).index_from(origin) == 0
+        assert Month(2019, 6).index_from(origin) == 12
+        assert Month(2018, 5).index_from(origin) == -1
+
+    def test_contains(self):
+        month = Month(2019, 3)
+        assert month.contains(dt.date(2019, 3, 15))
+        assert month.contains(dt.datetime(2019, 3, 1, 0, 0))
+        assert not month.contains(dt.date(2019, 4, 1))
+
+    def test_parse_and_str_roundtrip(self):
+        month = Month.parse("2019-04")
+        assert month == Month(2019, 4)
+        assert str(month) == "2019-04"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Month.parse("April 2019")
+
+    def test_hashable(self):
+        assert len({Month(2019, 1), Month(2019, 1), Month(2019, 2)}) == 2
+
+
+class TestHelpers:
+    def test_month_of_date_and_datetime(self):
+        assert month_of(dt.date(2020, 4, 30)) == Month(2020, 4)
+        assert month_of(dt.datetime(2020, 4, 1, 23, 59)) == Month(2020, 4)
+
+    def test_add_months_positive_negative(self):
+        assert add_months(Month(2019, 11), 3) == Month(2020, 2)
+        assert add_months(Month(2019, 1), -1) == Month(2018, 12)
+        assert add_months(Month(2019, 6), 0) == Month(2019, 6)
+
+    def test_months_between(self):
+        assert months_between(Month(2018, 6), Month(2020, 6)) == 24
+        assert months_between(Month(2020, 6), Month(2018, 6)) == -24
+
+    def test_month_range_inclusive(self):
+        months = month_range(Month(2018, 11), Month(2019, 2))
+        assert months == [
+            Month(2018, 11),
+            Month(2018, 12),
+            Month(2019, 1),
+            Month(2019, 2),
+        ]
+
+    def test_month_range_single(self):
+        assert month_range(Month(2019, 5), Month(2019, 5)) == [Month(2019, 5)]
+
+    def test_month_range_empty_when_reversed(self):
+        assert month_range(Month(2019, 5), Month(2019, 4)) == []

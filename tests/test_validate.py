@@ -1,0 +1,119 @@
+"""Tests for dataset integrity validation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import (
+    Contract,
+    ContractStatus,
+    ContractType,
+    MarketDataset,
+    Post,
+    Rating,
+    Thread,
+    User,
+    Visibility,
+    assert_valid,
+    validate_dataset,
+)
+
+T0 = dt.datetime(2019, 1, 10, 12, 0)
+
+
+def clean_dataset():
+    users = [User(1, T0), User(2, T0)]
+    contracts = [
+        Contract(
+            contract_id=1, ctype=ContractType.SALE,
+            status=ContractStatus.COMPLETE, visibility=Visibility.PRIVATE,
+            maker_id=1, taker_id=2, created_at=T0,
+            completed_at=T0 + dt.timedelta(hours=2),
+        )
+    ]
+    threads = [Thread(5, 1, T0)]
+    posts = [Post(9, 5, 2, T0)]
+    ratings = [Rating(1, 1, 2, 1, created_at=T0)]
+    return MarketDataset(users, contracts, threads, posts, ratings)
+
+
+class TestValidateDataset:
+    def test_clean_dataset_passes(self):
+        assert validate_dataset(clean_dataset()) == []
+        assert_valid(clean_dataset())
+
+    def test_simulated_dataset_valid(self, dataset):
+        errors = [i for i in validate_dataset(dataset) if i.severity == "error"]
+        assert errors == []
+
+    def test_duplicate_contract_ids(self):
+        ds = clean_dataset()
+        ds.contracts.append(ds.contracts[0])
+        issues = validate_dataset(ds)
+        assert any(i.code == "duplicate_contract_ids" for i in issues)
+
+    def test_dangling_party(self):
+        ds = clean_dataset()
+        ds.contracts.append(
+            Contract(
+                contract_id=2, ctype=ContractType.SALE,
+                status=ContractStatus.INCOMPLETE, visibility=Visibility.PRIVATE,
+                maker_id=99, taker_id=2, created_at=T0,
+            )
+        )
+        issues = validate_dataset(ds)
+        assert any(i.code == "dangling_contract_parties" for i in issues)
+        with pytest.raises(ValueError):
+            assert_valid(ds)
+
+    def test_dangling_thread_reference(self):
+        ds = clean_dataset()
+        ds.contracts[0].thread_id = 404
+        issues = validate_dataset(ds)
+        assert any(i.code == "dangling_contract_threads" for i in issues)
+
+    def test_out_of_window_warning(self):
+        ds = clean_dataset()
+        ds.contracts.append(
+            Contract(
+                contract_id=3, ctype=ContractType.SALE,
+                status=ContractStatus.INCOMPLETE, visibility=Visibility.PRIVATE,
+                maker_id=1, taker_id=2,
+                created_at=dt.datetime(2025, 1, 1),
+            )
+        )
+        issues = validate_dataset(ds)
+        assert any(i.code == "contracts_outside_window" for i in issues)
+        # warnings do not fail assert_valid
+        assert_valid(ds)
+
+    def test_window_check_can_be_disabled(self):
+        ds = clean_dataset()
+        ds.contracts.append(
+            Contract(
+                contract_id=3, ctype=ContractType.SALE,
+                status=ContractStatus.INCOMPLETE, visibility=Visibility.PRIVATE,
+                maker_id=1, taker_id=2,
+                created_at=dt.datetime(2025, 1, 1),
+            )
+        )
+        issues = validate_dataset(ds, check_window=False)
+        assert not any(i.code == "contracts_outside_window" for i in issues)
+
+    def test_dangling_post(self):
+        ds = clean_dataset()
+        ds.posts.append(Post(10, 404, 1, T0))
+        issues = validate_dataset(ds)
+        assert any(i.code == "dangling_posts" for i in issues)
+
+    def test_unknown_ratee_warning(self):
+        ds = clean_dataset()
+        ds.ratings.append(Rating(0, 0, 12345, 1, created_at=T0))
+        issues = validate_dataset(ds)
+        assert any(i.code == "ratings_of_unknown_users" for i in issues)
+
+    def test_issue_string(self):
+        ds = clean_dataset()
+        ds.posts.append(Post(10, 404, 1, T0))
+        issue = validate_dataset(ds)[0]
+        assert "dangling_posts" in str(issue)
