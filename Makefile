@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce reproduce-full clean
+.PHONY: install test bench bench-smoke reproduce reproduce-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,13 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick perf gate: generation throughput + columnar-kernel speedups,
+# with GC disabled and a machine-readable report for regression diffs.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_generation.py benchmarks/bench_columnstore.py \
+		--benchmark-only --benchmark-disable-gc \
+		--benchmark-json=BENCH_smoke.json
 
 reproduce:
 	$(PYTHON) examples/reproduce_paper.py --scale 0.05 --out reproduction_results

@@ -1,0 +1,113 @@
+"""Benchmark: the columnar fast path vs the object-path reference.
+
+Times (a) building the :class:`ColumnStore` from the benchmark market,
+(b) each vectorized analysis kernel against its object-path reference
+implementation (``fast=False``), and (c) a cache round-trip of the whole
+simulation result.  The fast/object pairs share one dataset, so the JSON
+report gives the speedup directly as the ratio of the paired medians.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.activities import top_trading_activities
+from repro.analysis.centralisation import concentration_curves, key_share_by_month
+from repro.analysis.monthly import completion_times, monthly_growth
+from repro.analysis.taxonomy import contract_taxonomy
+from repro.core.columns import ColumnStore
+from repro.network.degrees import dataset_degree_distributions, degree_growth
+
+# Same knobs as conftest.py (imported via env so the module stays
+# importable outside the pytest rootdir).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20201027"))
+
+
+@pytest.fixture(scope="module")
+def dataset(sim):
+    ds = sim.dataset
+    ds.columns()  # build once so kernel benches time only the kernels
+    return ds
+
+
+def test_columnstore_build(sim, benchmark):
+    store = benchmark.pedantic(
+        lambda: ColumnStore(sim.dataset), rounds=5, iterations=1
+    )
+    assert store.n == len(sim.dataset.contracts)
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "object"])
+def test_monthly_growth(dataset, benchmark, fast):
+    points = benchmark(monthly_growth, dataset, fast=fast)
+    assert len(points) >= 12
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "object"])
+def test_contract_taxonomy(dataset, benchmark, fast):
+    table = benchmark(contract_taxonomy, dataset, fast=fast)
+    assert table.total == len(dataset.contracts)
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "object"])
+def test_completion_times(dataset, benchmark, fast):
+    times = benchmark(completion_times, dataset, fast=fast)
+    assert times
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "object"])
+def test_concentration_curves(dataset, benchmark, fast):
+    curves = benchmark(concentration_curves, dataset, fast=fast)
+    assert 0.0 < curves.user_gini_created < 1.0
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "object"])
+def test_key_share_by_month(dataset, benchmark, fast):
+    points = benchmark(key_share_by_month, dataset, fast=fast)
+    assert len(points) >= 12
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "object"])
+def test_degree_distributions(dataset, benchmark, fast):
+    dist = benchmark(dataset_degree_distributions, dataset, fast=fast)
+    assert dist.n_users > 100
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "object"])
+def test_degree_growth(dataset, benchmark, fast):
+    points = benchmark(degree_growth, dataset, fast=fast)
+    assert len(points) >= 12
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "object"])
+def test_user_activity(dataset, benchmark, fast):
+    activity = benchmark(dataset.user_activity, fast=fast)
+    assert len(activity) > 100
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "object"])
+def test_top_trading_activities(dataset, benchmark, fast):
+    # The regex pass dominates and is memoized on the store for the fast
+    # path, so this measures the memoized counting path vs a full rescan.
+    table = benchmark(top_trading_activities, dataset, fast=fast)
+    assert table.n_contracts > 0
+
+
+def test_cache_round_trip(sim, benchmark, tmp_path_factory):
+    from repro.synth.cache import cached_generate, save_result
+
+    cache_dir = str(tmp_path_factory.mktemp("cache"))
+    save_result(sim, cache_dir)
+
+    def warm_load():
+        result, hit = cached_generate(
+            scale=BENCH_SCALE, seed=BENCH_SEED, cache_dir=cache_dir
+        )
+        assert hit
+        return result
+
+    result = benchmark.pedantic(warm_load, rounds=3, iterations=1)
+    assert len(result.dataset.contracts) == len(sim.dataset.contracts)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..core.dataset import MarketDataset
 from ..core.entities import Contract
 from ..core.timeutils import Month, month_of
@@ -22,6 +24,7 @@ from ..text.taxonomy import (
     UNCATEGORISED,
     ActivityCategorizer,
 )
+from .monthly import _month_counts
 
 __all__ = [
     "ActivityRow",
@@ -95,16 +98,114 @@ def _contracts_for_analysis(
     return dataset.completed_public()
 
 
+#: Bit index reserved for the uncategorised marker in activity bitmasks.
+_UNCAT_BIT = len(CATEGORIES)
+#: Mask selecting only the concrete (non-uncategorised) category bits.
+_CAT_BITS = np.uint32((1 << _UNCAT_BIT) - 1)
+_BIT_OF = {key: i for i, key in enumerate(CATEGORIES)}
+_BIT_OF[UNCATEGORISED] = _UNCAT_BIT
+
+
+def _mask_of(categories: Set[str]) -> int:
+    mask = 0
+    for key in categories:
+        mask |= 1 << _BIT_OF[key]
+    return mask
+
+
+def _activity_masks(
+    dataset: MarketDataset,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Category bitmasks for every completed public contract, memoized.
+
+    Returns ``(rows, maker, taker, sides)``: the store row indexes of the
+    completed-public subset plus one uint32 bitmask per row for the maker
+    obligation, the taker obligation, and the combined (both-sides) text.
+    The regex pass is the irreducibly per-text part of §4.3, so it runs
+    once per dataset and is cached on ``ColumnStore.derived`` — Table 3,
+    Figure 9, and repeat calls all reuse it.
+    """
+    store = dataset.columns()
+    cached = store.derived.get("activity_masks")
+    if cached is not None:
+        return cached
+    categorizer = ActivityCategorizer()
+    rows = np.flatnonzero(store.completed_public_mask())
+    maker = np.zeros(len(rows), dtype=np.uint32)
+    taker = np.zeros(len(rows), dtype=np.uint32)
+    sides = np.zeros(len(rows), dtype=np.uint32)
+    contracts = dataset.contracts
+    for i, row in enumerate(rows.tolist()):
+        contract = contracts[row]
+        maker[i] = _mask_of(categorizer.categorize(contract.maker_obligation))
+        taker[i] = _mask_of(categorizer.categorize(contract.taker_obligation))
+        sides[i] = _mask_of(
+            categorizer.categorize_sides(
+                contract.maker_obligation, contract.taker_obligation
+            )
+        )
+    store.derived["activity_masks"] = (rows, maker, taker, sides)
+    return rows, maker, taker, sides
+
+
+def _id_set(ids: np.ndarray) -> Set[int]:
+    return set(ids.tolist())
+
+
 def top_trading_activities(
     dataset: MarketDataset,
     categorizer: Optional[ActivityCategorizer] = None,
     contracts: Optional[Sequence[Contract]] = None,
+    fast: bool = True,
 ) -> ActivityTable:
     """Categorise completed public contracts into activity buckets.
 
     ``contracts`` overrides the default completed-public subset (useful
-    for per-era tables).
+    for per-era tables).  ``fast`` applies to whole-dataset calls with the
+    default categoriser: the per-text regex pass is memoized on the
+    columnar store and all counting happens on bitmask arrays.
     """
+    if fast and categorizer is None and contracts is None:
+        store = dataset.columns()
+        rows, maker_m, taker_m, _ = _activity_masks(dataset)
+        maker_ids = store.maker_id[rows]
+        taker_ids = store.taker_id[rows]
+        both_m = maker_m | taker_m
+        table_rows: Dict[str, ActivityRow] = {}
+        for key in tuple(CATEGORIES) + (UNCATEGORISED,):
+            bit = np.uint32(1 << _BIT_OF[key])
+            m_sel = (maker_m & bit) != 0
+            t_sel = (taker_m & bit) != 0
+            b_sel = (both_m & bit) != 0
+            table_rows[key] = ActivityRow(
+                key,
+                CATEGORY_LABELS.get(key, key),
+                maker_contracts=int(m_sel.sum()),
+                maker_users=_id_set(np.unique(maker_ids[m_sel])),
+                taker_contracts=int(t_sel.sum()),
+                taker_users=_id_set(np.unique(taker_ids[t_sel])),
+                both_contracts=int(b_sel.sum()),
+                both_users=_id_set(
+                    np.unique(np.concatenate([maker_ids[b_sel], taker_ids[b_sel]]))
+                ),
+            )
+        m_any = (maker_m & _CAT_BITS) != 0
+        t_any = (taker_m & _CAT_BITS) != 0
+        b_any = (both_m & _CAT_BITS) != 0
+        all_row = ActivityRow(
+            "all",
+            "All Trading Activities",
+            maker_contracts=int(m_any.sum()),
+            maker_users=_id_set(np.unique(maker_ids[m_any])),
+            taker_contracts=int(t_any.sum()),
+            taker_users=_id_set(np.unique(taker_ids[t_any])),
+            both_contracts=int(b_any.sum()),
+            both_users=_id_set(
+                np.unique(np.concatenate([maker_ids[b_any], taker_ids[b_any]]))
+            ),
+        )
+        return ActivityTable(rows=table_rows, all_row=all_row, n_contracts=len(rows))
+
     categorizer = categorizer or ActivityCategorizer()
     subset = _contracts_for_analysis(dataset, contracts)
 
@@ -150,12 +251,34 @@ def product_evolution(
     categorizer: Optional[ActivityCategorizer] = None,
     top_n: int = 5,
     exclude: Sequence[str] = EVOLUTION_EXCLUDED,
+    fast: bool = True,
 ) -> Dict[str, Dict[Month, int]]:
     """Figure 9: monthly completed-public contracts for the top products.
 
     Currency exchange and payments are excluded (per the paper); the top
-    ``top_n`` remaining categories by total volume are tracked.
+    ``top_n`` remaining categories by total volume are tracked.  ``fast``
+    (default-categoriser calls) reuses the memoized both-sides bitmasks
+    and bincounts the per-category monthly series.
     """
+    if fast and categorizer is None:
+        store = dataset.columns()
+        rows, _, _, sides_m = _activity_masks(dataset)
+        months = store.month_idx[rows]
+        excluded = set(exclude) | {UNCATEGORISED}
+        monthly: Dict[str, Dict[Month, int]] = {}
+        totals: Dict[str, int] = {}
+        for key in CATEGORIES:
+            if key in excluded:
+                continue
+            sel = (sides_m & np.uint32(1 << _BIT_OF[key])) != 0
+            total = int(sel.sum())
+            if not total:
+                continue
+            totals[key] = total
+            monthly[key] = _month_counts(months[sel])
+        winners = sorted(totals, key=lambda c: (-totals[c], c))[:top_n]
+        return {category: monthly[category] for category in winners}
+
     categorizer = categorizer or ActivityCategorizer()
     subset = dataset.completed_public()
 
@@ -172,5 +295,6 @@ def product_evolution(
             monthly[category][month] = monthly[category].get(month, 0) + 1
             totals[category] = totals.get(category, 0) + 1
 
-    winners = sorted(totals, key=lambda c: -totals[c])[:top_n]
+    # Ties broken by category key so the pick is hash-seed independent.
+    winners = sorted(totals, key=lambda c: (-totals[c], c))[:top_n]
     return {category: dict(sorted(monthly[category].items())) for category in winners}

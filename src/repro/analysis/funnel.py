@@ -67,20 +67,13 @@ class ContractFunnel:
         return out
 
 
-def contract_funnel(
-    dataset: MarketDataset, contracts: Optional[Sequence[Contract]] = None
-) -> ContractFunnel:
-    """Build the funnel over all contracts (or a subset).
-
-    ACTIVE_DEAL contracts count as accepted with no terminal outcome yet;
-    their stage-2 shares use accepted-and-terminal as the denominator.
-    """
-    subset = list(contracts) if contracts is not None else dataset.contracts
-    total = len(subset)
-    denied = sum(1 for c in subset if c.status == ContractStatus.DENIED)
-    expired = sum(1 for c in subset if c.status == ContractStatus.EXPIRED)
+def _funnel_from_status_counts(by_status: Dict[ContractStatus, int]) -> ContractFunnel:
+    """Assemble the two-stage funnel from per-status counts."""
+    total = sum(by_status.values())
+    denied = by_status.get(ContractStatus.DENIED, 0)
+    expired = by_status.get(ContractStatus.EXPIRED, 0)
     accepted = total - denied - expired
-    live = sum(1 for c in subset if c.status == ContractStatus.ACTIVE_DEAL)
+    live = by_status.get(ContractStatus.ACTIVE_DEAL, 0)
     terminal_accepted = accepted - live
 
     stages = [
@@ -90,7 +83,7 @@ def contract_funnel(
         FunnelStage("still active", live, live / accepted if accepted else 0.0),
     ]
     for status in _ACCEPTED_OUTCOMES:
-        count = sum(1 for c in subset if c.status == status)
+        count = by_status.get(status, 0)
         stages.append(
             FunnelStage(
                 status.value.replace("_", " "),
@@ -101,8 +94,58 @@ def contract_funnel(
     return ContractFunnel(total_proposed=total, stages=stages)
 
 
-def funnel_by_era(dataset: MarketDataset) -> Dict[str, ContractFunnel]:
+def contract_funnel(
+    dataset: MarketDataset,
+    contracts: Optional[Sequence[Contract]] = None,
+    fast: bool = True,
+) -> ContractFunnel:
+    """Build the funnel over all contracts (or a subset).
+
+    ACTIVE_DEAL contracts count as accepted with no terminal outcome yet;
+    their stage-2 shares use accepted-and-terminal as the denominator.
+    ``fast`` (whole-dataset calls only) tallies statuses with a single
+    ``np.bincount`` over the columnar store.
+    """
+    if fast and contracts is None:
+        import numpy as np
+
+        from ..core.columns import STATUS_ORDER
+
+        store = dataset.columns()
+        counts = np.bincount(store.status, minlength=len(STATUS_ORDER))
+        return _funnel_from_status_counts(
+            {status: int(counts[i]) for i, status in enumerate(STATUS_ORDER)}
+        )
+
+    subset = list(contracts) if contracts is not None else dataset.contracts
+    by_status: Dict[ContractStatus, int] = {}
+    for contract in subset:
+        by_status[contract.status] = by_status.get(contract.status, 0) + 1
+    return _funnel_from_status_counts(by_status)
+
+
+def funnel_by_era(dataset: MarketDataset, fast: bool = True) -> Dict[str, ContractFunnel]:
     """The funnel per era (by creation date)."""
+    if fast:
+        import numpy as np
+
+        from ..core.columns import STATUS_ORDER
+
+        store = dataset.columns()
+        n_status = len(STATUS_ORDER)
+        in_era = store.era_idx >= 0
+        grid = np.bincount(
+            store.era_idx[in_era].astype(np.int64) * n_status
+            + store.status[in_era],
+            minlength=len(ERAS) * n_status,
+        ).reshape(len(ERAS), n_status)
+        return {
+            era.name: _funnel_from_status_counts(
+                {status: int(grid[i, j]) for j, status in enumerate(STATUS_ORDER)}
+            )
+            for i, era in enumerate(ERAS)
+        }
     return {
-        era.name: contract_funnel(dataset, dataset.in_era(era)) for era in ERAS
+        era.name: contract_funnel(dataset, dataset.in_era(era), fast=False)
+        for era in ERAS
     }

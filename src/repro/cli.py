@@ -5,6 +5,7 @@ Usage::
     python -m repro generate --scale 0.05 --out market/         # synthesise + save
     python -m repro experiment table1 --scale 0.05               # one artefact
     python -m repro experiment all --scale 0.1 --out results/    # everything
+    python -m repro report --scale 0.1 --parallel 4              # cached full suite
     python -m repro summary --data market/                       # dataset overview
     python -m repro eras --scale 0.05                            # per-era profiles
 
@@ -51,6 +52,26 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--data", help="load dataset from directory instead")
     experiment.add_argument("--out", help="also write artefacts under this directory")
     experiment.add_argument("--latent-k", type=int, default=12)
+    experiment.add_argument("--cache-dir",
+                            help="opt into the dataset cache, rooted here")
+
+    report = commands.add_parser(
+        "report",
+        help="run the full experiment suite with dataset caching (and "
+             "optionally in parallel)",
+    )
+    report.add_argument("ids", nargs="*",
+                        help="experiment ids to run (default: all)")
+    _market_args(report)
+    report.add_argument("--out", help="also write artefacts under this directory")
+    report.add_argument("--latent-k", type=int, default=12)
+    report.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="fan experiments across N worker processes")
+    report.add_argument("--cache-dir",
+                        help="dataset cache root (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro)")
+    report.add_argument("--no-cache", action="store_true",
+                        help="always regenerate; don't read or write the cache")
 
     summary = commands.add_parser("summary", help="print a dataset overview")
     _market_args(summary)
@@ -94,6 +115,21 @@ def _load_or_generate(args) -> SimulationResult:
             truth=SimulationTruth(),
             config=SimulationConfig(scale=args.scale, seed=args.seed),
         )
+    if getattr(args, "cache_dir", None) and not getattr(args, "no_cache", False):
+        from .synth.cache import cached_generate
+
+        result, hit = cached_generate(
+            scale=args.scale,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            generate_posts=not args.no_posts,
+        )
+        print(
+            f"dataset: {'cache hit' if hit else 'generated and cached'} "
+            f"(scale={args.scale}, seed={args.seed})",
+            file=sys.stderr,
+        )
+        return result
     return generate_market(
         scale=args.scale, seed=args.seed, generate_posts=not args.no_posts
     )
@@ -131,6 +167,61 @@ def _cmd_experiment(args) -> int:
             path = os.path.join(args.out, f"{experiment_id}.txt")
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(report.text() + "\n")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .report.experiments import run_all_experiments
+
+    wanted = args.ids if args.ids and "all" not in args.ids else list(EXPERIMENTS)
+    unknown = [i for i in wanted if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    started = time.time()
+    if args.no_cache:
+        result = generate_market(
+            scale=args.scale, seed=args.seed, generate_posts=not args.no_posts
+        )
+        source = "generated (cache disabled)"
+    else:
+        from .synth.cache import cached_generate
+
+        result, hit = cached_generate(
+            scale=args.scale,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            generate_posts=not args.no_posts,
+        )
+        source = "cache hit" if hit else "generated and cached"
+    print(
+        f"dataset: {source} in {time.time() - started:.1f}s "
+        f"(scale={args.scale}, seed={args.seed}, "
+        f"{len(result.dataset.contracts):,} contracts)",
+        file=sys.stderr,
+    )
+
+    ctx = ExperimentContext(result, latent_k=args.latent_k)
+    runs = run_all_experiments(ctx, wanted, parallel=max(1, args.parallel))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for run in runs:
+        print(run.report.text())
+        print()
+        if args.out:
+            path = os.path.join(args.out, f"{run.experiment_id}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(run.report.text() + "\n")
+    print("experiment wall times:", file=sys.stderr)
+    for run in runs:
+        print(f"  {run.experiment_id:<10s} {run.seconds:7.2f}s", file=sys.stderr)
+    print(
+        f"  {'total':<10s} {sum(r.seconds for r in runs):7.2f}s "
+        f"({len(runs)} experiments, parallel={max(1, args.parallel)})",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -192,6 +283,7 @@ def main(argv: Optional[list] = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "experiment": _cmd_experiment,
+        "report": _cmd_report,
         "summary": _cmd_summary,
         "eras": _cmd_eras,
         "validate": _cmd_validate,

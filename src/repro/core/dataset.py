@@ -106,6 +106,19 @@ class MarketDataset:
         self._by_taker: Optional[Dict[int, List[Contract]]] = None
         self._by_created_month: Optional[Dict[Month, List[Contract]]] = None
         self._by_completed_month: Optional[Dict[Month, List[Contract]]] = None
+        self._columns = None
+
+    def columns(self):
+        """The dataset's :class:`~repro.core.columns.ColumnStore` (lazy).
+
+        Built on first use and cached; the store mirrors the entity lists
+        as contiguous NumPy arrays for the vectorized analysis kernels.
+        """
+        if self._columns is None:
+            from .columns import ColumnStore
+
+            self._columns = ColumnStore(self)
+        return self._columns
 
     # ------------------------------------------------------------------ #
     # basic lookups
@@ -225,8 +238,20 @@ class MarketDataset:
             self._by_completed_month = dict(index)
         return self._by_completed_month
 
-    def participant_ids(self) -> Set[int]:
-        """Ids of every user who is party to at least one contract."""
+    def participant_ids(self, fast: bool = True) -> Set[int]:
+        """Ids of every user who is party to at least one contract.
+
+        ``fast`` uses the columnar store (a vectorized unique over the
+        maker/taker columns); ``fast=False`` keeps the object-path
+        reference implementation.
+        """
+        if fast and self.contracts:
+            import numpy as np
+
+            store = self.columns()
+            return set(
+                np.unique(np.concatenate([store.maker_id, store.taker_id])).tolist()
+            )
         ids: Set[int] = set()
         for contract in self.contracts:
             ids.add(contract.maker_id)
@@ -241,13 +266,19 @@ class MarketDataset:
         self,
         start: Optional[_dt.datetime] = None,
         end: Optional[_dt.datetime] = None,
+        fast: bool = True,
     ) -> Dict[int, UserActivity]:
         """Compute per-user activity summaries over ``[start, end]``.
 
         Both bounds are inclusive and optional; omitted bounds span the
         whole dataset.  Only users who are party to at least one contract
-        in the window (or who posted in it) appear in the result.
+        in the window (or who posted or were rated in it) appear in the
+        result.  ``fast`` computes all counts as grouped array reductions
+        over the columnar store; ``fast=False`` keeps the object-path
+        reference implementation.
         """
+        if fast:
+            return self._user_activity_columnar(start, end)
 
         def in_window(when: Optional[_dt.datetime]) -> bool:
             if when is None:
@@ -309,37 +340,167 @@ class MarketDataset:
 
         return activity
 
+    def _user_activity_columnar(
+        self,
+        start: Optional[_dt.datetime],
+        end: Optional[_dt.datetime],
+    ) -> Dict[int, UserActivity]:
+        """Vectorized :meth:`user_activity`: bincount/min/max per user code."""
+        import numpy as np
+
+        from .columns import NAT_US
+
+        store = self.columns()
+        n_users = store.n_users
+        int64_max = np.iinfo(np.int64).max
+
+        counts = {
+            name: np.zeros(n_users, dtype=np.int64)
+            for name in (
+                "initiated", "accepted", "completed", "disputes",
+                "positive", "negative", "posts", "marketplace",
+            )
+        }
+        first_contract = np.full(n_users, int64_max, dtype=np.int64)
+        first_post = np.full(n_users, int64_max, dtype=np.int64)
+        last_active = np.full(n_users, NAT_US, dtype=np.int64)
+
+        cmask = store.window_mask(store.created_us, start, end)
+        if cmask.any():
+            maker = store.maker_code[cmask]
+            taker = store.taker_code[cmask]
+            created = store.created_us[cmask]
+            counts["initiated"] += np.bincount(maker, minlength=n_users)
+            counts["accepted"] += np.bincount(taker, minlength=n_users)
+            complete = store.is_complete[cmask]
+            disputed = store.status_mask(ContractStatus.DISPUTED)[cmask]
+            for sub, name in ((complete, "completed"), (disputed, "disputes")):
+                counts[name] += np.bincount(maker[sub], minlength=n_users)
+                counts[name] += np.bincount(taker[sub], minlength=n_users)
+            for code in (maker, taker):
+                np.minimum.at(first_contract, code, created)
+                np.maximum.at(last_active, code, created)
+
+        if self.ratings:
+            ratings = store.ratings
+            rmask = store.window_mask(ratings.created_us, start, end)
+            positive = rmask & (ratings.score > 0)
+            negative = rmask & (ratings.score <= 0)
+            counts["positive"] += np.bincount(
+                ratings.ratee_code[positive], minlength=n_users
+            )
+            counts["negative"] += np.bincount(
+                ratings.ratee_code[negative], minlength=n_users
+            )
+
+        if self.posts:
+            posts = store.posts
+            pmask = store.window_mask(posts.created_us, start, end)
+            if pmask.any():
+                author = posts.author_code[pmask]
+                created = posts.created_us[pmask]
+                counts["posts"] += np.bincount(author, minlength=n_users)
+                counts["marketplace"] += np.bincount(
+                    posts.author_code[pmask & posts.is_marketplace],
+                    minlength=n_users,
+                )
+                np.minimum.at(first_post, author, created)
+                np.maximum.at(last_active, author, created)
+
+        touched = (
+            counts["initiated"] + counts["accepted"] + counts["positive"]
+            + counts["negative"] + counts["posts"]
+        ) > 0
+        idx = np.nonzero(touched)[0]
+        # Bulk-convert the touched slices to Python objects once —
+        # per-element numpy scalar indexing would dominate the runtime.
+        user_ids = store.user_ids[idx].tolist()
+        lists = {name: counts[name][idx].tolist() for name in counts}
+        # int64-min is numpy's NaT, so sentinel slots become None for free.
+        fc = np.where(first_contract[idx] == int64_max, NAT_US, first_contract[idx])
+        fp = np.where(first_post[idx] == int64_max, NAT_US, first_post[idx])
+        first_contract_at = fc.astype("datetime64[us]").tolist()
+        first_post_at = fp.astype("datetime64[us]").tolist()
+        last_active_at = last_active[idx].astype("datetime64[us]").tolist()
+
+        activity: Dict[int, UserActivity] = {}
+        for i, user_id in enumerate(user_ids):
+            activity[user_id] = UserActivity(
+                user_id=user_id,
+                positive_ratings=lists["positive"][i],
+                negative_ratings=lists["negative"][i],
+                disputes=lists["disputes"][i],
+                marketplace_posts=lists["marketplace"][i],
+                total_posts=lists["posts"][i],
+                initiated=lists["initiated"][i],
+                accepted=lists["accepted"][i],
+                completed=lists["completed"][i],
+                first_contract_at=first_contract_at[i],
+                first_post_at=first_post_at[i],
+                last_active_at=last_active_at[i],
+            )
+        return activity
+
     # ------------------------------------------------------------------ #
     # summaries
     # ------------------------------------------------------------------ #
 
-    def summary(self) -> Dict[str, int]:
-        """Headline counts, handy for logging and quick sanity checks."""
+    def summary(self, fast: bool = True) -> Dict[str, int]:
+        """Headline counts, handy for logging and quick sanity checks.
+
+        ``fast`` reads the columnar store; ``fast=False`` runs a single
+        object pass computing all contract-derived counts together.
+        """
+        if fast and self.contracts:
+            import numpy as np
+
+            store = self.columns()
+            participants = np.unique(
+                np.concatenate([store.maker_code, store.taker_code])
+            ).size
+            completed = int(store.is_complete.sum())
+            public = int(store.is_public.sum())
+        else:
+            participant_set: Set[int] = set()
+            completed = public = 0
+            for contract in self.contracts:
+                if contract.is_complete:
+                    completed += 1
+                if contract.is_public:
+                    public += 1
+                participant_set.add(contract.maker_id)
+                participant_set.add(contract.taker_id)
+            participants = len(participant_set)
         return {
             "users": len(self.users),
             "contracts": len(self.contracts),
-            "completed_contracts": sum(1 for c in self.contracts if c.is_complete),
-            "public_contracts": sum(1 for c in self.contracts if c.is_public),
+            "completed_contracts": completed,
+            "public_contracts": public,
             "threads": len(self.threads),
             "posts": len(self.posts),
             "ratings": len(self.ratings),
-            "participants": len(self.participant_ids()),
+            "participants": participants,
         }
 
     def subset(self, contracts: Iterable[Contract]) -> "MarketDataset":
         """A new dataset sharing users/threads/posts but restricted contracts.
 
-        Ratings are filtered to those attached to the kept contracts.
+        Ratings are filtered to those attached to the kept contracts (one
+        set lookup built once).  Id indexes already built on this dataset
+        are handed to the child, since its users and threads are shared.
         """
         kept = list(contracts)
         kept_ids = {c.contract_id for c in kept}
-        return MarketDataset(
+        child = MarketDataset(
             users=self.users,
             contracts=kept,
             threads=self.threads,
             posts=self.posts,
             ratings=[r for r in self.ratings if r.contract_id in kept_ids],
         )
+        child._users_by_id = self._users_by_id
+        child._threads_by_id = self._threads_by_id
+        return child
 
     def era_of_contract(self, contract: Contract) -> Optional[Era]:
         """The era a contract was created in (None if out of window)."""

@@ -3,6 +3,7 @@
 from .degrees import (
     DegreeDistributions,
     DegreeGrowthPoint,
+    dataset_degree_distributions,
     degree_distributions,
     degree_growth,
 )
@@ -13,6 +14,7 @@ from .powerlaw import PowerLawFit, fit_power_law, loglik_ratio_vs_exponential
 __all__ = [
     "DegreeDistributions",
     "DegreeGrowthPoint",
+    "dataset_degree_distributions",
     "degree_distributions",
     "degree_growth",
     "DEGREE_KINDS",

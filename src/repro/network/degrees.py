@@ -8,10 +8,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.columns import month_from_index
 from ..core.dataset import MarketDataset
 from ..core.entities import Contract
 from ..core.timeutils import Month, month_of
@@ -21,6 +22,7 @@ __all__ = [
     "DegreeDistributions",
     "DegreeGrowthPoint",
     "degree_distributions",
+    "dataset_degree_distributions",
     "degree_growth",
 ]
 
@@ -68,6 +70,96 @@ def degree_distributions(contracts: Sequence[Contract]) -> DegreeDistributions:
     )
 
 
+def _edge_arrays(
+    store, mask: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(maker, taker, bidirectional) code columns for the selected rows."""
+    if mask is None:
+        return store.maker_code, store.taker_code, store.is_bidirectional
+    return store.maker_code[mask], store.taker_code[mask], store.is_bidirectional[mask]
+
+
+def _unique_undirected(
+    maker: np.ndarray, taker: np.ndarray, n_users: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct undirected edges as (low, high) endpoint arrays."""
+    low = np.minimum(maker, taker).astype(np.int64)
+    high = np.maximum(maker, taker).astype(np.int64)
+    keys = np.unique(low * n_users + high)
+    return keys // n_users, keys % n_users
+
+
+def _unique_directed(
+    maker: np.ndarray, taker: np.ndarray, bidirectional: np.ndarray, n_users: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct directed edges (src, dst); bidirectional rows add both."""
+    src = np.concatenate([maker, taker[bidirectional]]).astype(np.int64)
+    dst = np.concatenate([taker, maker[bidirectional]]).astype(np.int64)
+    keys = np.unique(src * n_users + dst)
+    return keys // n_users, keys % n_users
+
+
+def _histogram_of(degrees: np.ndarray) -> Dict[int, int]:
+    values, counts = np.unique(degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def dataset_degree_distributions(
+    dataset: MarketDataset, completed_only: bool = False, fast: bool = True
+) -> DegreeDistributions:
+    """Figure 7 over a whole dataset (created or completed contracts).
+
+    ``fast`` derives distinct-counterparty degrees from the columnar
+    store: edges are deduplicated with one ``np.unique`` over packed
+    endpoint keys and degrees read off with ``np.bincount`` — no Python
+    per-contract loop and no set-of-sets adjacency.
+    """
+    if not fast:
+        contracts = dataset.completed() if completed_only else dataset.contracts
+        return degree_distributions(contracts)
+
+    store = dataset.columns()
+    mask = store.is_complete if completed_only else None
+    maker, taker, bidirectional = _edge_arrays(store, mask)
+    n_contracts = len(maker)
+    nodes = np.unique(np.concatenate([maker, taker]))
+    if not len(nodes):
+        return DegreeDistributions(
+            histogram={kind: {} for kind in DEGREE_KINDS},
+            max_degree={kind: 0 for kind in DEGREE_KINDS},
+            average_degree={kind: 0.0 for kind in DEGREE_KINDS},
+            n_users=0,
+            n_contracts=0,
+        )
+
+    n_users = store.n_users
+    low, high = _unique_undirected(maker, taker, n_users)
+    # A self-contract contributes a single entry to its own raw set.
+    raw_endpoints = np.concatenate([low, high[high != low]])
+    src, dst = _unique_directed(maker, taker, bidirectional, n_users)
+
+    per_kind = {
+        "raw": np.bincount(raw_endpoints, minlength=n_users)[nodes],
+        "inbound": np.bincount(dst, minlength=n_users)[nodes],
+        "outbound": np.bincount(src, minlength=n_users)[nodes],
+    }
+    histogram: Dict[str, Dict[int, int]] = {}
+    max_degree: Dict[str, int] = {}
+    average_degree: Dict[str, float] = {}
+    for kind in DEGREE_KINDS:
+        degrees = per_kind[kind]
+        histogram[kind] = _histogram_of(degrees)
+        max_degree[kind] = int(degrees.max())
+        average_degree[kind] = float(degrees.mean())
+    return DegreeDistributions(
+        histogram=histogram,
+        max_degree=max_degree,
+        average_degree=average_degree,
+        n_users=int(len(nodes)),
+        n_contracts=n_contracts,
+    )
+
+
 @dataclass
 class DegreeGrowthPoint:
     """One month of Figure 8: cumulative-network degree summaries."""
@@ -79,15 +171,81 @@ class DegreeGrowthPoint:
     max_outbound: int
 
 
+def _first_months(
+    keys: np.ndarray, months: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unique keys plus the earliest month index each key appears in."""
+    unique, inverse = np.unique(keys, return_inverse=True)
+    first = np.full(len(unique), np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(first, inverse, months)
+    return unique, first
+
+
 def degree_growth(
-    dataset: MarketDataset, completed_only: bool = False
+    dataset: MarketDataset, completed_only: bool = False, fast: bool = True
 ) -> List[DegreeGrowthPoint]:
     """Cumulative degree growth month by month (Figure 8).
 
     The network at month *m* contains every qualifying contract created up
-    to the end of *m*; the graph is grown incrementally so the whole
-    series costs one pass over the contracts.
+    to the end of *m*.  ``fast`` precomputes the first month each distinct
+    edge and node appears, then replays ≤ the number of months as batched
+    ``np.add.at`` updates of running degree arrays; ``fast=False`` keeps
+    the incremental :class:`ContractGraph` reference.
     """
+    if fast:
+        store = dataset.columns()
+        mask = store.is_complete if completed_only else None
+        maker, taker, bidirectional = _edge_arrays(store, mask)
+        if not len(maker):
+            return []
+        months = (store.month_idx[mask] if mask is not None else store.month_idx).astype(
+            np.int64
+        )
+        n_users = store.n_users
+        maker64, taker64 = maker.astype(np.int64), taker.astype(np.int64)
+
+        raw_keys, raw_first = _first_months(
+            np.minimum(maker64, taker64) * n_users + np.maximum(maker64, taker64),
+            months,
+        )
+        src_all = np.concatenate([maker64, taker64[bidirectional]])
+        dst_all = np.concatenate([taker64, maker64[bidirectional]])
+        directed_keys, directed_first = _first_months(
+            src_all * n_users + dst_all,
+            np.concatenate([months, months[bidirectional]]),
+        )
+        node_keys, node_first = _first_months(
+            np.concatenate([maker64, taker64]), np.concatenate([months, months])
+        )
+
+        deg_raw = np.zeros(n_users, dtype=np.int64)
+        deg_in = np.zeros(n_users, dtype=np.int64)
+        deg_out = np.zeros(n_users, dtype=np.int64)
+        raw_sum = 0
+        present = 0
+        series: List[DegreeGrowthPoint] = []
+        for idx in range(int(months.min()), int(months.max()) + 1):
+            new_raw = raw_keys[raw_first == idx]
+            low, high = new_raw // n_users, new_raw % n_users
+            np.add.at(deg_raw, low, 1)
+            selfless = high != low
+            np.add.at(deg_raw, high[selfless], 1)
+            raw_sum += len(low) + int(selfless.sum())
+            new_directed = directed_keys[directed_first == idx]
+            np.add.at(deg_out, new_directed // n_users, 1)
+            np.add.at(deg_in, new_directed % n_users, 1)
+            present += int((node_first == idx).sum())
+            series.append(
+                DegreeGrowthPoint(
+                    month=month_from_index(idx),
+                    average_raw=raw_sum / present if present else 0.0,
+                    max_raw=int(deg_raw.max()),
+                    max_inbound=int(deg_in.max()),
+                    max_outbound=int(deg_out.max()),
+                )
+            )
+        return series
+
     contracts = dataset.completed() if completed_only else dataset.contracts
     if not contracts:
         return []

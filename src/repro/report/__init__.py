@@ -4,6 +4,8 @@ from .experiments import (
     EXPERIMENTS,
     ExperimentContext,
     ExperimentReport,
+    ExperimentRun,
+    run_all_experiments,
     run_experiment,
 )
 from .figures import era_marker, render_series, sparkline
@@ -13,6 +15,8 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentContext",
     "ExperimentReport",
+    "ExperimentRun",
+    "run_all_experiments",
     "run_experiment",
     "era_marker",
     "render_series",

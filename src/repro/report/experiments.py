@@ -9,8 +9,11 @@ single code path regenerates everything the paper reports.
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import (
     class_activity_series,
@@ -41,13 +44,20 @@ from ..analysis.taxonomy import STATUS_ORDER, TYPE_ORDER
 from ..analysis.values import estimate_dataset_values
 from ..blockchain.verify import verify_high_value_contracts
 from ..core.entities import ContractType
-from ..network.degrees import degree_distributions, degree_growth
+from ..network.degrees import dataset_degree_distributions, degree_growth
 from ..network.powerlaw import fit_power_law
 from ..synth.marketsim import SimulationResult
 from .figures import render_series, sparkline
 from .tables import format_count_share, format_pct, format_usd, render_table
 
-__all__ = ["ExperimentReport", "ExperimentContext", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "ExperimentReport",
+    "ExperimentContext",
+    "ExperimentRun",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all_experiments",
+]
 
 
 @dataclass
@@ -484,8 +494,8 @@ def fig06(ctx: ExperimentContext) -> ExperimentReport:
 
 
 def fig07(ctx: ExperimentContext) -> ExperimentReport:
-    created = degree_distributions(ctx.dataset.contracts)
-    completed = degree_distributions(ctx.dataset.completed())
+    created = dataset_degree_distributions(ctx.dataset)
+    completed = dataset_degree_distributions(ctx.dataset, completed_only=True)
     lines: List[str] = []
     for label, dist in (("created", created), ("completed", completed)):
         lines.append(f"--- {label} contracts: {dist.n_contracts:,} contracts, "
@@ -822,3 +832,74 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentReport]] = {
 def run_experiment(experiment_id: str, ctx: ExperimentContext) -> ExperimentReport:
     """Run one registered experiment by id (KeyError for unknown ids)."""
     return EXPERIMENTS[experiment_id](ctx)
+
+
+# --------------------------------------------------------------------- #
+# batch runner
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ExperimentRun:
+    """One experiment's output plus its wall-clock cost."""
+
+    experiment_id: str
+    title: str
+    lines: List[str]
+    seconds: float
+
+    @property
+    def report(self) -> ExperimentReport:
+        return ExperimentReport(self.experiment_id, self.title, self.lines)
+
+
+#: Context shared with forked workers (copy-on-write; set by the parent
+#: immediately before the pool is created, cleared after).
+_WORKER_CTX: Optional[ExperimentContext] = None
+
+
+def _run_one(experiment_id: str) -> Tuple[str, str, List[str], float]:
+    """Worker entry point: returns a picklable (id, title, lines, seconds).
+
+    ``data`` is deliberately dropped — it can hold arbitrary objects
+    (fitted models, graphs) that are expensive or impossible to pickle.
+    """
+    started = time.perf_counter()
+    report = run_experiment(experiment_id, _WORKER_CTX)
+    return (experiment_id, report.title, report.lines, time.perf_counter() - started)
+
+
+def run_all_experiments(
+    ctx: ExperimentContext,
+    experiment_ids: Optional[Sequence[str]] = None,
+    parallel: int = 1,
+) -> List[ExperimentRun]:
+    """Run a set of experiments (default: all), optionally in parallel.
+
+    ``parallel > 1`` fans independent experiments across a fork-based
+    ``ProcessPoolExecutor``: the context (dataset, columnar store, model
+    caches) is inherited copy-on-write, and each worker ships back only
+    ``(id, title, lines, seconds)``.  Serial runs share ``ctx``'s model
+    caches across experiments, so per-experiment times after the first
+    latent-model user reflect the cached path.  Results come back in
+    request order either way.
+    """
+    wanted = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    unknown = [i for i in wanted if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
+
+    global _WORKER_CTX
+    _WORKER_CTX = ctx
+    try:
+        if parallel > 1 and "fork" in multiprocessing.get_all_start_methods():
+            with ProcessPoolExecutor(
+                max_workers=parallel,
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                raw = list(pool.map(_run_one, wanted))
+        else:
+            raw = [_run_one(experiment_id) for experiment_id in wanted]
+    finally:
+        _WORKER_CTX = None
+    return [ExperimentRun(*entry) for entry in raw]

@@ -1,0 +1,335 @@
+"""On-disk dataset cache for simulator runs.
+
+Regenerating a market is by far the most expensive step of ``repro
+report`` — the simulator walks every month, renders obligation texts and
+emits posts and ratings.  This module persists a finished
+:class:`~repro.synth.marketsim.SimulationResult` as compressed columnar
+arrays (one ``.npz`` plus a ``meta.json``) keyed by ``(scale, seed,
+config-fingerprint)``, so warm runs skip generation entirely.
+
+Layout under the cache root (``--cache-dir``, ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``)::
+
+    market_s<scale>_r<seed>_<fingerprint12>/
+        data.npz    # users/contracts/threads/posts/ratings/ledger columns
+        meta.json   # version, scale, seed, full fingerprint, entity counts
+
+The fingerprint is the SHA-256 of the canonical JSON of the full
+:class:`SimulationConfig` (every curve anchor included), so *any* config
+override produces a distinct cache entry.  Ground truth is not cached —
+it exists for calibration tests only — and the deterministic
+:class:`RateOracle` is rebuilt on load.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..blockchain.chain import ChainTransaction, Ledger
+from ..blockchain.rates import RateOracle
+from ..core.columns import NAT_US, datetime_from_us
+from ..core.dataset import MarketDataset
+from ..core.entities import (
+    Contract,
+    ContractStatus,
+    ContractType,
+    Post,
+    Rating,
+    Thread,
+    User,
+    Visibility,
+)
+from .config import DEFAULT_CONFIG, SimulationConfig
+from .marketsim import MarketSimulator, SimulationResult, SimulationTruth
+
+__all__ = [
+    "CACHE_VERSION",
+    "default_cache_dir",
+    "config_fingerprint",
+    "cache_path",
+    "save_result",
+    "load_result",
+    "cached_generate",
+]
+
+#: Bump when the on-disk layout changes; stale entries are regenerated.
+CACHE_VERSION = 1
+
+_EPOCH = _dt.datetime(1970, 1, 1)
+_TYPE_CODES = tuple(ContractType)
+_STATUS_CODES = tuple(ContractStatus)
+_VIS_CODES = tuple(Visibility)
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def config_fingerprint(config: SimulationConfig) -> str:
+    """SHA-256 over the canonical JSON of the full configuration."""
+    payload = json.dumps(asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_path(config: SimulationConfig, cache_dir: Optional[str] = None) -> str:
+    """Directory holding the cache entry for ``config``."""
+    root = cache_dir or default_cache_dir()
+    fingerprint = config_fingerprint(config)
+    name = f"market_s{config.scale:g}_r{config.seed}_{fingerprint[:12]}"
+    return os.path.join(root, name)
+
+
+# --------------------------------------------------------------------- #
+# serialisation helpers
+# --------------------------------------------------------------------- #
+
+
+def _us(when: Optional[_dt.datetime]) -> int:
+    if when is None:
+        return int(NAT_US)
+    return int(np.datetime64(when, "us").astype(np.int64))
+
+
+def _when(us: int) -> Optional[_dt.datetime]:
+    return datetime_from_us(us)
+
+
+def _str_column(values) -> np.ndarray:
+    # Fixed-width unicode keeps the npz pickle-free; '' encodes None.
+    return np.asarray([v if v is not None else "" for v in values], dtype=np.str_)
+
+
+def _int_column(values, sentinel: int = -1) -> np.ndarray:
+    return np.asarray(
+        [v if v is not None else sentinel for v in values], dtype=np.int64
+    )
+
+
+def _columns_of(result: SimulationResult) -> Dict[str, np.ndarray]:
+    dataset = result.dataset
+    users, contracts = dataset.users, dataset.contracts
+    threads, posts, ratings = dataset.threads, dataset.posts, dataset.ratings
+    transactions = list(result.ledger)
+    return {
+        "user_id": _int_column(u.user_id for u in users),
+        "user_joined_us": np.asarray([_us(u.joined_forum_at) for u in users], np.int64),
+        "user_first_post_us": np.asarray([_us(u.first_post_at) for u in users], np.int64),
+        "user_class": _str_column(u.latent_class for u in users),
+        "c_id": _int_column(c.contract_id for c in contracts),
+        "c_type": np.asarray([_TYPE_CODES.index(c.ctype) for c in contracts], np.int8),
+        "c_status": np.asarray(
+            [_STATUS_CODES.index(c.status) for c in contracts], np.int8
+        ),
+        "c_visibility": np.asarray(
+            [_VIS_CODES.index(c.visibility) for c in contracts], np.int8
+        ),
+        "c_maker": _int_column(c.maker_id for c in contracts),
+        "c_taker": _int_column(c.taker_id for c in contracts),
+        "c_created_us": np.asarray([_us(c.created_at) for c in contracts], np.int64),
+        "c_completed_us": np.asarray([_us(c.completed_at) for c in contracts], np.int64),
+        "c_maker_obligation": _str_column(c.maker_obligation for c in contracts),
+        "c_taker_obligation": _str_column(c.taker_obligation for c in contracts),
+        "c_terms": _str_column(c.terms for c in contracts),
+        "c_maker_rating": np.asarray(
+            [c.maker_rating or 0 for c in contracts], np.int8
+        ),
+        "c_taker_rating": np.asarray(
+            [c.taker_rating or 0 for c in contracts], np.int8
+        ),
+        "c_thread": _int_column(c.thread_id for c in contracts),
+        "c_btc_address": _str_column(c.btc_address for c in contracts),
+        "c_btc_txhash": _str_column(c.btc_txhash for c in contracts),
+        "t_id": _int_column(t.thread_id for t in threads),
+        "t_author": _int_column(t.author_id for t in threads),
+        "t_created_us": np.asarray([_us(t.created_at) for t in threads], np.int64),
+        "t_title": _str_column(t.title for t in threads),
+        "t_marketplace": np.asarray([t.is_marketplace for t in threads], np.bool_),
+        "p_id": _int_column(p.post_id for p in posts),
+        "p_thread": _int_column(p.thread_id for p in posts),
+        "p_author": _int_column(p.author_id for p in posts),
+        "p_created_us": np.asarray([_us(p.created_at) for p in posts], np.int64),
+        "p_marketplace": np.asarray([p.is_marketplace for p in posts], np.bool_),
+        "r_contract": _int_column(r.contract_id for r in ratings),
+        "r_rater": _int_column(r.rater_id for r in ratings),
+        "r_ratee": _int_column(r.ratee_id for r in ratings),
+        "r_score": np.asarray([r.score for r in ratings], np.int8),
+        "r_created_us": np.asarray([_us(r.created_at) for r in ratings], np.int64),
+        "x_txhash": _str_column(t.txhash for t in transactions),
+        "x_address": _str_column(t.address for t in transactions),
+        "x_timestamp_us": np.asarray(
+            [_us(t.timestamp) for t in transactions], np.int64
+        ),
+        "x_btc": np.asarray([t.btc_amount for t in transactions], np.float64),
+    }
+
+
+def save_result(result: SimulationResult, cache_dir: Optional[str] = None) -> str:
+    """Persist ``result`` under its config's cache entry; returns the path."""
+    entry = cache_path(result.config, cache_dir)
+    os.makedirs(entry, exist_ok=True)
+    dataset = result.dataset
+    np.savez_compressed(os.path.join(entry, "data.npz"), **_columns_of(result))
+    meta = {
+        "version": CACHE_VERSION,
+        "scale": result.config.scale,
+        "seed": result.config.seed,
+        "fingerprint": config_fingerprint(result.config),
+        "counts": {
+            "users": len(dataset.users),
+            "contracts": len(dataset.contracts),
+            "threads": len(dataset.threads),
+            "posts": len(dataset.posts),
+            "ratings": len(dataset.ratings),
+            "transactions": len(result.ledger),
+        },
+    }
+    with open(os.path.join(entry, "meta.json"), "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+    return entry
+
+
+def _load_columns(entry: str, config: SimulationConfig) -> SimulationResult:
+    with np.load(os.path.join(entry, "data.npz")) as data:
+        cols = {key: data[key] for key in data.files}
+
+    users = [
+        User(
+            user_id=int(cols["user_id"][i]),
+            joined_forum_at=_when(int(cols["user_joined_us"][i])),
+            first_post_at=_when(int(cols["user_first_post_us"][i])),
+            latent_class=str(cols["user_class"][i]) or None,
+        )
+        for i in range(len(cols["user_id"]))
+    ]
+    contracts = [
+        Contract(
+            contract_id=int(cols["c_id"][i]),
+            ctype=_TYPE_CODES[cols["c_type"][i]],
+            status=_STATUS_CODES[cols["c_status"][i]],
+            visibility=_VIS_CODES[cols["c_visibility"][i]],
+            maker_id=int(cols["c_maker"][i]),
+            taker_id=int(cols["c_taker"][i]),
+            created_at=_when(int(cols["c_created_us"][i])),
+            completed_at=_when(int(cols["c_completed_us"][i])),
+            maker_obligation=str(cols["c_maker_obligation"][i]),
+            taker_obligation=str(cols["c_taker_obligation"][i]),
+            terms=str(cols["c_terms"][i]),
+            maker_rating=int(cols["c_maker_rating"][i]) or None,
+            taker_rating=int(cols["c_taker_rating"][i]) or None,
+            thread_id=(
+                int(cols["c_thread"][i]) if cols["c_thread"][i] >= 0 else None
+            ),
+            btc_address=str(cols["c_btc_address"][i]) or None,
+            btc_txhash=str(cols["c_btc_txhash"][i]) or None,
+        )
+        for i in range(len(cols["c_id"]))
+    ]
+    threads = [
+        Thread(
+            thread_id=int(cols["t_id"][i]),
+            author_id=int(cols["t_author"][i]),
+            created_at=_when(int(cols["t_created_us"][i])),
+            title=str(cols["t_title"][i]),
+            is_marketplace=bool(cols["t_marketplace"][i]),
+        )
+        for i in range(len(cols["t_id"]))
+    ]
+    posts = [
+        Post(
+            post_id=int(cols["p_id"][i]),
+            thread_id=int(cols["p_thread"][i]),
+            author_id=int(cols["p_author"][i]),
+            created_at=_when(int(cols["p_created_us"][i])),
+            is_marketplace=bool(cols["p_marketplace"][i]),
+        )
+        for i in range(len(cols["p_id"]))
+    ]
+    ratings = [
+        Rating(
+            contract_id=int(cols["r_contract"][i]),
+            rater_id=int(cols["r_rater"][i]),
+            ratee_id=int(cols["r_ratee"][i]),
+            score=int(cols["r_score"][i]),
+            created_at=_when(int(cols["r_created_us"][i])),
+        )
+        for i in range(len(cols["r_contract"]))
+    ]
+    ledger = Ledger()
+    for i in range(len(cols["x_txhash"])):
+        ledger.add(
+            ChainTransaction(
+                txhash=str(cols["x_txhash"][i]),
+                address=str(cols["x_address"][i]),
+                timestamp=_when(int(cols["x_timestamp_us"][i])),
+                btc_amount=float(cols["x_btc"][i]),
+            )
+        )
+    dataset = MarketDataset(
+        users=users, contracts=contracts, threads=threads, posts=posts, ratings=ratings
+    )
+    return SimulationResult(
+        dataset=dataset,
+        ledger=ledger,
+        rates=RateOracle(),
+        truth=SimulationTruth(),
+        config=config,
+    )
+
+
+def load_result(
+    config: SimulationConfig, cache_dir: Optional[str] = None
+) -> Optional[SimulationResult]:
+    """Load the cache entry for ``config``, or None on miss/stale entry."""
+    entry = cache_path(config, cache_dir)
+    meta_path = os.path.join(entry, "meta.json")
+    data_path = os.path.join(entry, "data.npz")
+    if not (os.path.exists(meta_path) and os.path.exists(data_path)):
+        return None
+    try:
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if meta.get("version") != CACHE_VERSION:
+        return None
+    if meta.get("fingerprint") != config_fingerprint(config):
+        return None
+    try:
+        return _load_columns(entry, config)
+    except (OSError, KeyError, ValueError):
+        return None
+
+
+def cached_generate(
+    scale: float = 1.0,
+    seed: int = DEFAULT_CONFIG.seed,
+    cache_dir: Optional[str] = None,
+    refresh: bool = False,
+    **overrides,
+) -> Tuple[SimulationResult, bool]:
+    """Generate a market through the cache.
+
+    Returns ``(result, hit)``: ``hit`` is True when the dataset came from
+    disk.  ``refresh`` forces regeneration (and rewrites the entry).  The
+    cached result carries an empty :class:`SimulationTruth` — analyses
+    never read truth, only calibration tests do, and those generate fresh.
+    """
+    config = SimulationConfig(scale=scale, seed=seed, **overrides)
+    if not refresh:
+        cached = load_result(config, cache_dir)
+        if cached is not None:
+            return cached, True
+    result = MarketSimulator(config).run()
+    save_result(result, cache_dir)
+    return result, False

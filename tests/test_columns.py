@@ -1,0 +1,320 @@
+"""Parity tests: the columnar fast path must match the object path.
+
+Every vectorized kernel is checked against its ``fast=False`` reference
+on two seeds.  Integer counts must match exactly; float curves are
+compared with ``np.allclose``.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.analysis.activities import product_evolution, top_trading_activities
+from repro.analysis.centralisation import concentration_curves, key_share_by_month
+from repro.analysis.funnel import contract_funnel, funnel_by_era
+from repro.analysis.monthly import (
+    completion_times,
+    monthly_growth,
+    type_proportions,
+    visibility_share,
+)
+from repro.analysis.taxonomy import contract_taxonomy, visibility_table
+from repro.core.columns import (
+    CTYPE_ORDER,
+    NAT_US,
+    STATUS_ORDER,
+    ColumnStore,
+    datetime_from_us,
+    month_from_index,
+)
+from repro.core.dataset import MarketDataset
+from repro.core.timeutils import month_of
+from repro.network.degrees import (
+    dataset_degree_distributions,
+    degree_distributions,
+    degree_growth,
+)
+from repro.synth import MarketSimulator, SimulationConfig
+
+
+@pytest.fixture(scope="module", params=[0, 99])
+def market(request):
+    return MarketSimulator(SimulationConfig(scale=0.02, seed=request.param)).run()
+
+
+@pytest.fixture(scope="module")
+def ds(market):
+    return market.dataset
+
+
+@pytest.fixture(scope="module")
+def store(ds):
+    return ds.columns()
+
+
+# --------------------------------------------------------------------- #
+# the store itself
+# --------------------------------------------------------------------- #
+
+
+def test_store_is_cached(ds):
+    assert ds.columns() is ds.columns()
+
+
+def test_store_row_parity(ds, store):
+    assert store.n == len(ds.contracts)
+    for row in (0, store.n // 2, store.n - 1):
+        contract = ds.contracts[row]
+        assert int(store.contract_id[row]) == contract.contract_id
+        assert CTYPE_ORDER[store.ctype[row]] is contract.ctype
+        assert STATUS_ORDER[store.status[row]] is contract.status
+        assert int(store.maker_id[row]) == contract.maker_id
+        assert int(store.taker_id[row]) == contract.taker_id
+        assert datetime_from_us(int(store.created_us[row])) == contract.created_at
+        assert bool(store.is_complete[row]) == contract.is_complete
+        assert bool(store.is_public[row]) == contract.is_public
+        assert month_from_index(int(store.month_idx[row])) == month_of(
+            contract.created_at
+        )
+
+
+def test_store_completed_timestamps_exact(ds, store):
+    for row, contract in enumerate(ds.contracts):
+        us = int(store.completed_us[row])
+        if contract.completed_at is None:
+            assert us == NAT_US
+        else:
+            assert datetime_from_us(us) == contract.completed_at
+            assert store.completion_hours[row] == pytest.approx(
+                contract.completion_hours, rel=0, abs=0
+            )
+
+
+def test_store_user_codes_round_trip(store):
+    assert store.n_users == len(store.user_ids)
+    codes = store.user_code_array(store.user_ids)
+    assert (codes == np.arange(store.n_users)).all()
+
+
+def test_empty_dataset_store():
+    store = ColumnStore(MarketDataset())
+    assert store.n == 0 and store.n_users == 0
+    assert len(store.ratings.score) == 0 and len(store.posts.author_code) == 0
+
+
+# --------------------------------------------------------------------- #
+# dataset-level fast paths
+# --------------------------------------------------------------------- #
+
+
+def test_summary_parity(ds):
+    assert ds.summary(fast=True) == ds.summary(fast=False)
+
+
+def test_participant_ids_parity(ds):
+    assert ds.participant_ids(fast=True) == ds.participant_ids(fast=False)
+
+
+def test_user_activity_parity(ds):
+    fast, slow = ds.user_activity(fast=True), ds.user_activity(fast=False)
+    assert set(fast) == set(slow)
+    for user_id in fast:
+        assert fast[user_id] == slow[user_id]
+
+
+def test_user_activity_window_parity(ds):
+    start, end = dt.datetime(2019, 3, 1), dt.datetime(2020, 3, 10)
+    fast = ds.user_activity(start, end, fast=True)
+    slow = ds.user_activity(start, end, fast=False)
+    assert set(fast) == set(slow)
+    for user_id in fast:
+        assert fast[user_id] == slow[user_id]
+
+
+# --------------------------------------------------------------------- #
+# analysis kernels — exact counts
+# --------------------------------------------------------------------- #
+
+
+def test_taxonomy_parity(ds):
+    fast, slow = contract_taxonomy(ds, fast=True), contract_taxonomy(ds, fast=False)
+    assert fast.counts == slow.counts and fast.total == slow.total
+
+
+def test_visibility_table_parity(ds):
+    fast, slow = visibility_table(ds, fast=True), visibility_table(ds, fast=False)
+    assert fast.created == slow.created and fast.completed == slow.completed
+
+
+def test_monthly_growth_parity(ds):
+    assert monthly_growth(ds, fast=True) == monthly_growth(ds, fast=False)
+
+
+def test_funnel_parity(ds):
+    assert contract_funnel(ds, fast=True) == contract_funnel(ds, fast=False)
+    assert funnel_by_era(ds, fast=True) == funnel_by_era(ds, fast=False)
+
+
+def test_degree_distributions_parity(ds):
+    for completed_only in (False, True):
+        fast = dataset_degree_distributions(ds, completed_only, fast=True)
+        slow = dataset_degree_distributions(ds, completed_only, fast=False)
+        assert fast.histogram == slow.histogram
+        assert fast.max_degree == slow.max_degree
+        assert fast.n_users == slow.n_users
+        assert fast.n_contracts == slow.n_contracts
+        assert fast.average_degree == pytest.approx(slow.average_degree)
+
+
+def test_degree_distributions_matches_sequence_api(ds):
+    via_store = dataset_degree_distributions(ds, fast=True)
+    via_objects = degree_distributions(ds.contracts)
+    assert via_store.histogram == via_objects.histogram
+
+
+def test_degree_growth_parity(ds):
+    for completed_only in (False, True):
+        fast = degree_growth(ds, completed_only, fast=True)
+        slow = degree_growth(ds, completed_only, fast=False)
+        assert len(fast) == len(slow)
+        for a, b in zip(fast, slow):
+            assert a.month == b.month
+            assert (a.max_raw, a.max_inbound, a.max_outbound) == (
+                b.max_raw, b.max_inbound, b.max_outbound,
+            )
+            assert a.average_raw == pytest.approx(b.average_raw)
+
+
+def test_degree_growth_empty():
+    empty = MarketDataset()
+    assert degree_growth(empty, fast=True) == []
+    assert dataset_degree_distributions(empty, fast=True).n_users == 0
+
+
+def test_activities_parity(ds):
+    fast = top_trading_activities(ds, fast=True)
+    slow = top_trading_activities(ds, fast=False)
+    assert fast.n_contracts == slow.n_contracts
+    assert set(fast.rows) == set(slow.rows)
+    for key in fast.rows:
+        assert fast.rows[key].as_tuple() == slow.rows[key].as_tuple()
+        assert fast.rows[key].both_users == slow.rows[key].both_users
+    assert fast.all_row.as_tuple() == slow.all_row.as_tuple()
+
+
+def test_product_evolution_parity(ds):
+    assert product_evolution(ds, fast=True) == product_evolution(ds, fast=False)
+
+
+# --------------------------------------------------------------------- #
+# analysis kernels — float curves
+# --------------------------------------------------------------------- #
+
+
+def _allclose_dict(fast, slow):
+    assert list(fast) == list(slow)
+    assert np.allclose(list(fast.values()), list(slow.values()))
+
+
+def test_visibility_share_parity(ds):
+    fast, slow = visibility_share(ds, fast=True), visibility_share(ds, fast=False)
+    assert list(fast) == list(slow)
+    for month in fast:
+        assert fast[month]["created"] == pytest.approx(slow[month]["created"])
+        assert fast[month]["completed"] == pytest.approx(slow[month]["completed"])
+
+
+def test_type_proportions_parity(ds):
+    for completed_only in (False, True):
+        fast = type_proportions(ds, completed_only, fast=True)
+        slow = type_proportions(ds, completed_only, fast=False)
+        assert set(fast) == set(slow)
+        for month in fast:
+            for ctype in slow[month]:
+                assert fast[month][ctype] == pytest.approx(slow[month][ctype])
+
+
+def test_completion_times_parity(ds):
+    fast, slow = completion_times(ds, fast=True), completion_times(ds, fast=False)
+    assert set(fast) == set(slow)
+    for month in fast:
+        assert set(fast[month]) == set(slow[month])
+        for ctype in fast[month]:
+            assert fast[month][ctype] == pytest.approx(slow[month][ctype])
+
+
+def test_concentration_curves_parity(ds):
+    fast = concentration_curves(ds, fast=True)
+    slow = concentration_curves(ds, fast=False)
+    for name in ("users_created", "users_completed", "threads_created",
+                 "threads_completed"):
+        _allclose_dict(getattr(fast, name), getattr(slow, name))
+    assert fast.user_gini_created == pytest.approx(slow.user_gini_created)
+    assert fast.thread_gini_created == pytest.approx(slow.thread_gini_created)
+
+
+def test_key_share_parity(ds):
+    fast = key_share_by_month(ds, fast=True)
+    slow = key_share_by_month(ds, fast=False)
+    assert [p.month for p in fast] == [p.month for p in slow]
+    for a, b in zip(fast, slow):
+        for name in ("key_members_created", "key_members_completed",
+                     "key_threads_created", "key_threads_completed"):
+            assert getattr(a, name) == pytest.approx(getattr(b, name))
+
+
+# --------------------------------------------------------------------- #
+# subset index reuse
+# --------------------------------------------------------------------- #
+
+
+def test_cache_round_trip_exact(market, tmp_path):
+    from repro.synth.cache import cached_generate, save_result
+
+    save_result(market, str(tmp_path))
+    loaded, hit = cached_generate(
+        scale=market.config.scale, seed=market.config.seed, cache_dir=str(tmp_path)
+    )
+    assert hit
+    assert loaded.dataset.contracts == market.dataset.contracts
+    assert loaded.dataset.users == market.dataset.users
+    assert loaded.dataset.ratings == market.dataset.ratings
+    assert len(loaded.ledger) == len(market.ledger)
+
+
+def test_cache_miss_on_config_change(market, tmp_path):
+    from repro.synth.cache import load_result
+    from repro.synth.config import SimulationConfig
+
+    changed = SimulationConfig(
+        scale=market.config.scale, seed=market.config.seed, thread_link_prob=0.99
+    )
+    assert load_result(changed, str(tmp_path)) is None
+
+
+def test_run_all_experiments_parallel_matches_serial(market):
+    from repro.report.experiments import ExperimentContext, run_all_experiments
+
+    ctx = ExperimentContext(market, latent_k=12)
+    wanted = ["table1", "fig01", "funnel"]
+    serial = run_all_experiments(ctx, wanted, parallel=1)
+    parallel = run_all_experiments(ctx, wanted, parallel=2)
+    assert [r.experiment_id for r in serial] == wanted
+    assert all(r.seconds >= 0 for r in serial)
+    assert [(r.experiment_id, r.title, r.lines) for r in serial] == [
+        (r.experiment_id, r.title, r.lines) for r in parallel
+    ]
+
+
+def test_subset_shares_parent_indexes(ds):
+    some = ds.contracts[: len(ds.contracts) // 2]
+    ds.user(some[0].maker_id)  # force the parent index to exist
+    child = ds.subset(some)
+    assert len(child.contracts) == len(some)
+    # The child reuses the parent's already-built id index.
+    assert child._users_by_id is ds._users_by_id
+    kept = {c.contract_id for c in child.contracts}
+    assert all(r.contract_id in kept for r in child.ratings)
