@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke reproduce reproduce-full clean
+.PHONY: install test lint typecheck bench bench-smoke reproduce reproduce-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Project-specific invariant checks (reprolint) plus mypy when installed.
+# `pip install -e .[lint]` pulls mypy in; without it only reprolint runs.
+lint:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro lint
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy \
+		|| echo "mypy not installed (pip install -e .[lint]); skipping type check"
+
+typecheck:
+	$(PYTHON) -m mypy
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -282,8 +282,8 @@ def product_evolution(
     categorizer = categorizer or ActivityCategorizer()
     subset = dataset.completed_public()
 
-    monthly: Dict[str, Dict[Month, int]] = {}
-    totals: Dict[str, int] = {}
+    monthly = {}
+    totals = {}
     excluded = set(exclude) | {UNCATEGORISED}
     for contract in subset:
         categories = categorizer.categorize_sides(

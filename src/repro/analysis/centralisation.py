@@ -237,7 +237,7 @@ def key_share_by_month(
             completed_by_month.setdefault(settled, []).append(contract)
 
     months = sorted(set(created_by_month) | set(completed_by_month))
-    series: List[KeySharePoint] = []
+    series = []
     for month in months:
         created = created_by_month.get(month, [])
         completed = completed_by_month.get(month, [])

@@ -103,8 +103,8 @@ def monthly_growth(dataset: MarketDataset, fast: bool = True) -> List[GrowthPoin
             for month in months
         ]
 
-    created_counts: Dict[Month, int] = {}
-    completed_counts: Dict[Month, int] = {}
+    created_counts = {}
+    completed_counts = {}
     first_created: Dict[int, Month] = {}
     first_completed: Dict[int, Month] = {}
 
@@ -121,10 +121,10 @@ def monthly_growth(dataset: MarketDataset, fast: bool = True) -> List[GrowthPoin
                 if user not in first_completed or settled < first_completed[user]:
                     first_completed[user] = settled
 
-    new_created: Dict[Month, int] = {}
+    new_created = {}
     for month in first_created.values():
         new_created[month] = new_created.get(month, 0) + 1
-    new_completed: Dict[Month, int] = {}
+    new_completed = {}
     for month in first_completed.values():
         new_completed[month] = new_completed.get(month, 0) + 1
 
@@ -164,10 +164,10 @@ def visibility_share(
             }
         return result
 
-    created_total: Dict[Month, int] = {}
-    created_public: Dict[Month, int] = {}
-    completed_total: Dict[Month, int] = {}
-    completed_public: Dict[Month, int] = {}
+    created_total = {}
+    created_public = {}
+    completed_total = {}
+    completed_public = {}
     for contract in dataset.contracts:
         month = month_of(contract.created_at)
         created_total[month] = created_total.get(month, 0) + 1
@@ -179,7 +179,7 @@ def visibility_share(
             if contract.is_public:
                 completed_public[settled] = completed_public.get(settled, 0) + 1
 
-    result: Dict[Month, Dict[str, float]] = {}
+    result = {}
     for month in sorted(set(created_total) | set(completed_total)):
         created = created_total.get(month, 0)
         completed = completed_total.get(month, 0)
@@ -236,7 +236,7 @@ def type_proportions(
         bucket = counts.setdefault(month, {})
         bucket[contract.ctype] = bucket.get(contract.ctype, 0) + 1
 
-    result: Dict[Month, Dict[ContractType, float]] = {}
+    result = {}
     for month in sorted(counts):
         total = sum(counts[month].values())
         result[month] = {

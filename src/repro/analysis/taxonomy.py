@@ -106,7 +106,7 @@ def contract_taxonomy(dataset: MarketDataset, fast: bool = True) -> TaxonomyTabl
         }
         return TaxonomyTable(counts=counts, total=store.n)
 
-    counts: Dict[Tuple[ContractType, ContractStatus], int] = {}
+    counts = {}
     for contract in dataset.contracts:
         key = (contract.ctype, contract.status)
         counts[key] = counts.get(key, 0) + 1

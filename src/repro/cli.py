@@ -8,6 +8,7 @@ Usage::
     python -m repro report --scale 0.1 --parallel 4              # cached full suite
     python -m repro summary --data market/                       # dataset overview
     python -m repro eras --scale 0.05                            # per-era profiles
+    python -m repro lint                                         # invariant checks
 
 ``--data DIR`` loads a previously saved dataset (JSONL) instead of
 generating one; analyses that need the rate oracle rebuild the
@@ -20,7 +21,7 @@ import argparse
 import os
 import sys
 import time
-from typing import Optional
+from typing import List, Optional
 
 from . import __version__
 from .blockchain.rates import RateOracle
@@ -90,6 +91,27 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--data", help="dataset directory (JSONL); generated if omitted")
     export.add_argument("--out", required=True, help="CSV output directory")
     _market_args(export)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run reprolint, the project-specific static-analysis pass",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: src/ and "
+                           "tests/ under --root)")
+    lint.add_argument("--root", default=".",
+                      help="repository root (default: current directory)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format")
+    lint.add_argument("--baseline",
+                      help="baseline file of grandfathered findings "
+                           "(default: <root>/lint-baseline.txt when present)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings")
+    lint.add_argument("--explain", metavar="RULE",
+                      help="print the rationale for one rule id (e.g. R003)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules")
 
     return parser
 
@@ -278,7 +300,13 @@ def _cmd_export_csv(args) -> int:
     return 0
 
 
-def main(argv: Optional[list] = None) -> int:
+def _cmd_lint(args) -> int:
+    from .devtools.lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
@@ -288,6 +316,7 @@ def main(argv: Optional[list] = None) -> int:
         "eras": _cmd_eras,
         "validate": _cmd_validate,
         "export-csv": _cmd_export_csv,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -43,10 +43,12 @@ import numpy as np
 
 from .entities import Contract, ContractStatus, ContractType, Visibility
 from .eras import DATA_END, ERAS
+from .kernels import columnar_kernel
 from .timeutils import Month
 
 __all__ = [
     "ColumnStore",
+    "columnar_kernel",
     "RatingColumns",
     "PostColumns",
     "CTYPE_ORDER",

@@ -26,6 +26,7 @@ from .entities import (
     Visibility,
 )
 from .eras import Era, era_of
+from .kernels import columnar_kernel
 from .timeutils import Month, month_of
 
 __all__ = ["MarketDataset", "UserActivity"]
@@ -340,6 +341,7 @@ class MarketDataset:
 
         return activity
 
+    @columnar_kernel
     def _user_activity_columnar(
         self,
         start: Optional[_dt.datetime],

@@ -1,0 +1,28 @@
+"""The ``columnar_kernel`` marker for vectorized analysis kernels.
+
+A *columnar kernel* computes exclusively on the contiguous arrays of a
+:class:`~repro.core.columns.ColumnStore` — never by walking the Python
+entity lists (``dataset.contracts`` / ``.posts`` / ``.users``) that the
+object-path reference implementations use.  The marker is a plain
+passthrough decorator; its value is that reprolint's R004
+(object-loop-in-kernel) recognises it (alongside the ``*_columnar``
+naming convention) and flags any per-object loop that sneaks back into a
+marked function during a refactor.
+
+Kept numpy-free so :mod:`repro.core.dataset` can import it eagerly
+without pulling in the array stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["columnar_kernel"]
+
+F = TypeVar("F", bound=Callable)
+
+
+def columnar_kernel(func: F) -> F:
+    """Mark ``func`` as a columnar kernel (enforced by reprolint R004)."""
+    func.__columnar_kernel__ = True  # type: ignore[attr-defined]
+    return func

@@ -1,0 +1,57 @@
+"""reprolint: project-specific static analysis for the reproduction.
+
+An :mod:`ast`-walking pass over ``src/`` and ``tests/`` enforcing the
+invariants the reproduction's credibility rests on — invariants no
+generic linter knows about:
+
+====  ======================  ==============================================
+id    name                    invariant
+====  ======================  ==============================================
+R001  unseeded-rng            randomness flows through an explicit
+                              ``numpy.random.Generator`` (bit-determinism
+                              per seed)
+R002  wall-clock-in-library   no ``time.time()`` / ``datetime.now()``
+                              outside ``cli.py`` and ``benchmarks/``
+R003  fast-path-parity        every public ``fast=`` kernel has a
+                              ``fast=False`` parity test
+R004  object-loop-in-kernel   columnar kernels never loop over
+                              ``.contracts`` / ``.posts`` / ``.users``
+R005  era-literal             era-boundary dates come only from
+                              :mod:`repro.core.eras`
+R006  float-equality          tests never compare floats with ``==``
+====  ======================  ==============================================
+
+Run it with ``python -m repro lint`` (``--format json`` for machines,
+``--explain R003`` for the rationale behind one rule).  Grandfathered
+findings live in ``lint-baseline.txt`` at the repo root, regenerated
+with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    DEFAULT_BASELINE_NAME,
+    LintResult,
+    SourceFile,
+    collect_sources,
+    lint_sources,
+    run_lint,
+)
+from .findings import Finding, load_baseline, save_baseline
+from .rules import RULES, Rule, all_rules, rule_by_id
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "collect_sources",
+    "lint_sources",
+    "load_baseline",
+    "rule_by_id",
+    "run_lint",
+    "save_baseline",
+]

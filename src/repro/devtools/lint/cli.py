@@ -1,0 +1,112 @@
+"""Rendering and command handling for ``python -m repro lint``.
+
+The argparse wiring lives in :mod:`repro.cli`; this module turns the
+parsed namespace into a lint run and renders the result as human text or
+JSON.  Exit codes: 0 clean, 1 findings (or parse errors), 2 usage
+errors.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import sys
+from typing import List
+
+from .engine import DEFAULT_BASELINE_NAME, run_lint
+from .findings import save_baseline
+from .rules import RULES, rule_by_id
+
+__all__ = ["run_lint_command"]
+
+
+def _explain(rule_id: str) -> int:
+    try:
+        rule = rule_by_id(rule_id)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    doc = inspect.getdoc(type(rule)) or "(no documentation)"
+    print(f"{rule.id} {rule.name} [{rule.severity}]")
+    print()
+    print(doc)
+    return 0
+
+
+def _list_rules() -> int:
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]()
+        doc = inspect.getdoc(RULES[rule_id]) or ""
+        headline = doc.splitlines()[0] if doc else ""
+        print(f"{rule.id}  {rule.name:<24s} {headline}")
+    return 0
+
+
+def run_lint_command(args) -> int:
+    """Handle the ``lint`` subcommand (see ``repro.cli.build_parser``)."""
+    if args.explain:
+        return _explain(args.explain)
+    if args.list_rules:
+        return _list_rules()
+
+    root = os.path.abspath(args.root)
+    if not args.paths and not any(
+        os.path.isdir(os.path.join(root, sub)) for sub in ("src", "tests")
+    ):
+        print(
+            f"nothing to lint: no src/ or tests/ under {root} "
+            f"(pass explicit paths or --root)",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = run_lint(
+        root,
+        paths=args.paths or None,
+        baseline_path=args.baseline,
+    )
+
+    if args.write_baseline:
+        target = args.baseline or os.path.join(root, DEFAULT_BASELINE_NAME)
+        save_baseline(target, result.findings + result.suppressed)
+        print(
+            f"wrote {len(result.findings) + len(result.suppressed)} "
+            f"baseline entries to {target}"
+        )
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "files_checked": result.files_checked,
+            "findings": [f.as_dict() for f in result.findings],
+            "suppressed": len(result.suppressed),
+            "parse_errors": result.parse_errors,
+            "exit_code": result.exit_code,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return result.exit_code
+
+    lines: List[str] = []
+    for error in result.parse_errors:
+        lines.append(f"parse error: {error}")
+    for finding in result.findings:
+        lines.append(finding.render())
+    for line in lines:
+        print(line)
+    suppressed_note = (
+        f" ({len(result.suppressed)} suppressed by baseline)"
+        if result.suppressed
+        else ""
+    )
+    verdict = (
+        "clean" if result.exit_code == 0
+        else f"{len(result.findings)} finding"
+        + ("s" if len(result.findings) != 1 else "")
+    )
+    print(
+        f"reprolint: {verdict}{suppressed_note}, "
+        f"{result.files_checked} files checked"
+    )
+    return result.exit_code

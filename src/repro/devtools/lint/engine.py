@@ -1,0 +1,186 @@
+"""reprolint engine: collect sources, run rules, apply the baseline.
+
+The engine is deliberately filesystem-light so tests can lint in-memory
+snippets: a :class:`SourceFile` is just a repo-relative path, the source
+text and its parsed AST, tagged with a *kind* ("src" / "tests") that
+rules use for scoping.  ``collect_sources`` builds that list from a repo
+root; ``lint_sources`` runs the rule set over any mapping of path ->
+code, which is what the fixture tests use.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from .findings import Finding, load_baseline, split_by_baseline
+from .rules import Rule, all_rules
+
+__all__ = [
+    "SourceFile",
+    "LintResult",
+    "classify_path",
+    "collect_sources",
+    "lint_sources",
+    "run_lint",
+    "DEFAULT_BASELINE_NAME",
+]
+
+#: Baseline filename looked up at the lint root when none is given.
+DEFAULT_BASELINE_NAME = "lint-baseline.txt"
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed python file presented to the rules."""
+
+    path: str        # repo-relative posix path
+    text: str
+    tree: ast.Module
+    kind: str        # "src" | "tests" | "other"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)    # active
+    suppressed: List[Finding] = field(default_factory=list)  # baselined
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings or self.parse_errors else 0
+
+
+def classify_path(path: str) -> str:
+    """Map a repo-relative path to a rule scope kind."""
+    first = path.split("/", 1)[0]
+    if first == "src":
+        return "src"
+    if first == "tests":
+        return "tests"
+    return "other"
+
+
+def _parse(path: str, text: str) -> ast.Module:
+    return ast.parse(text, filename=path)
+
+
+def lint_sources(
+    files: Mapping[str, str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint an in-memory mapping of repo-relative path -> source text.
+
+    Paths decide rule scope: give fixtures paths like
+    ``"src/repro/example.py"`` or ``"tests/test_example.py"``.
+    """
+    sources = [
+        SourceFile(path=path, text=text, tree=_parse(path, text),
+                   kind=classify_path(path))
+        for path, text in sorted(files.items())
+    ]
+    return _run_rules(sources, list(rules) if rules is not None else all_rules())
+
+
+def _run_rules(
+    sources: Sequence[SourceFile], rules: Sequence[Rule]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        for source in sources:
+            if source.kind in rule.scope:
+                findings.extend(rule.visit(source))
+        findings.extend(rule.finalize(sources))
+    return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule))
+
+
+def collect_sources(
+    root: str, paths: Optional[Sequence[str]] = None
+) -> "tuple[List[SourceFile], List[str]]":
+    """Parse every python file under ``root`` the linter should see.
+
+    With no explicit ``paths``, lints ``src/`` and ``tests/`` under the
+    root (either may be absent).  Explicit paths — files or directories,
+    absolute or root-relative — restrict the sweep but keep the same
+    kind classification, so rule scoping still works.  Returns the
+    parsed sources plus any parse-error descriptions.
+    """
+    root = os.path.abspath(root)
+    wanted: List[str] = []
+    if paths:
+        for entry in paths:
+            absolute = entry if os.path.isabs(entry) else os.path.join(root, entry)
+            if os.path.isdir(absolute):
+                wanted.extend(_walk_py(absolute))
+            else:
+                wanted.append(absolute)
+    else:
+        for sub in ("src", "tests"):
+            subdir = os.path.join(root, sub)
+            if os.path.isdir(subdir):
+                wanted.extend(_walk_py(subdir))
+
+    sources: List[SourceFile] = []
+    errors: List[str] = []
+    seen: Set[str] = set()
+    for absolute in sorted(wanted):
+        if absolute in seen:
+            continue
+        seen.add(absolute)
+        relative = os.path.relpath(absolute, root).replace(os.sep, "/")
+        try:
+            with open(absolute, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            tree = _parse(relative, text)
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{relative}: {exc}")
+            continue
+        sources.append(
+            SourceFile(path=relative, text=text, tree=tree,
+                       kind=classify_path(relative))
+        )
+    return sources, errors
+
+
+def _walk_py(directory: str) -> List[str]:
+    found: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(directory):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in ("__pycache__", ".git") and not d.startswith(".")
+        ]
+        for filename in filenames:
+            if filename.endswith(".py"):
+                found.append(os.path.join(dirpath, filename))
+    return found
+
+
+def run_lint(
+    root: str,
+    paths: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Full lint pass over a repo checkout: collect, run rules, baseline.
+
+    ``baseline_path=None`` uses ``<root>/lint-baseline.txt`` when it
+    exists; pass ``""`` to ignore any baseline.
+    """
+    sources, errors = collect_sources(root, paths)
+    findings = _run_rules(sources, list(rules) if rules is not None else all_rules())
+    if baseline_path is None:
+        candidate = os.path.join(root, DEFAULT_BASELINE_NAME)
+        baseline_path = candidate if os.path.exists(candidate) else ""
+    baseline = load_baseline(baseline_path) if baseline_path else set()
+    active, suppressed = split_by_baseline(findings, baseline)
+    return LintResult(
+        findings=active,
+        suppressed=suppressed,
+        files_checked=len(sources),
+        parse_errors=errors,
+    )

@@ -1,0 +1,89 @@
+"""Finding records and the committed baseline of grandfathered findings.
+
+A finding is one rule violation at one source location.  The baseline
+file (``lint-baseline.txt`` at the repo root) lists findings that predate
+the linter and are tolerated until fixed; its keys deliberately omit line
+numbers so unrelated edits higher up in a file don't invalidate entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+__all__ = ["Finding", "load_baseline", "save_baseline", "split_by_baseline"]
+
+#: Column separator in baseline lines.  Messages never contain tabs.
+_SEP = "\t"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where it is, which rule, and why it matters."""
+
+    path: str       # repo-relative posix path, e.g. "src/repro/cli.py"
+    line: int       # 1-based
+    col: int        # 0-based, as reported by ast
+    rule: str       # rule id, e.g. "R001"
+    severity: str   # "error" or "warning"
+    message: str
+
+    def key(self) -> str:
+        """Baseline identity: path + rule + message, line-number free."""
+        return _SEP.join((self.rule, self.path, self.message))
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1} "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Read baseline keys from ``path``; missing file means empty baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except FileNotFoundError:
+        return set()
+    keys = set()
+    for raw in lines:
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Write the baseline for ``findings`` (sorted, deduplicated)."""
+    keys = sorted({f.key() for f in findings})
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "# reprolint baseline: grandfathered findings, one per line as\n"
+            "# <rule>\\t<path>\\t<message>.  Regenerate with\n"
+            "#   python -m repro lint --write-baseline\n"
+            "# Fix entries rather than adding new ones.\n"
+        )
+        for key in keys:
+            handle.write(key + "\n")
+
+
+def split_by_baseline(
+    findings: Iterable[Finding], baseline: Set[str]
+) -> "tuple[List[Finding], List[Finding]]":
+    """Partition findings into (active, suppressed-by-baseline)."""
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        (suppressed if finding.key() in baseline else active).append(finding)
+    return active, suppressed

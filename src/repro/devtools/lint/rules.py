@@ -1,0 +1,536 @@
+"""The reprolint rule set.
+
+Each rule is a small class with an ``id``, ``severity``, a ``scope``
+(which file kinds it visits) and a docstring that ``repro lint
+--explain <id>`` renders verbatim.  Rules implement ``visit`` (called
+once per in-scope file) and/or ``finalize`` (called once with every
+collected file, for cross-module checks such as fast-path parity).
+
+The rules encode invariants specific to this reproduction:
+
+* determinism — the paper's era comparisons assume ``repro.synth`` is
+  bit-identical per seed, so randomness must flow through explicit
+  ``numpy.random.Generator`` objects and library code must not read the
+  wall clock;
+* fast/object parity — every vectorized ``fast=`` kernel must keep a
+  parity test against its object-path reference;
+* era hygiene — the externally-defined era boundaries (1 Jun 2018 /
+  1 Mar 2019 / 11 Mar 2020) live only in :mod:`repro.core.eras`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+
+__all__ = ["Rule", "RULES", "all_rules", "rule_by_id"]
+
+
+def _dotted(node: ast.AST) -> Tuple[str, ...]:
+    """The name chain of an expression: ``np.random.rand`` -> its parts.
+
+    Returns an empty tuple for anything that isn't a plain Name/Attribute
+    chain (calls, subscripts, ...).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _terminal_name(func: ast.AST) -> Optional[str]:
+    """Last component of a callee: ``f(...)`` -> "f", ``a.b.f(...)`` -> "f"."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _int_args(call: ast.Call, count: int) -> Optional[Tuple[int, ...]]:
+    """First ``count`` positional args if they are all int literals."""
+    if len(call.args) < count:
+        return None
+    values = []
+    for arg in call.args[:count]:
+        if isinstance(arg, ast.Constant) and type(arg.value) is int:
+            values.append(arg.value)
+        else:
+            return None
+    return tuple(values)
+
+
+class Rule:
+    """Base class: subclasses override ``visit`` and/or ``finalize``."""
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    #: Which file kinds the per-file ``visit`` hook receives.
+    scope: Tuple[str, ...] = ("src",)
+
+    def visit(self, source: "SourceFile") -> Iterator[Finding]:  # noqa: F821
+        return iter(())
+
+    def finalize(
+        self, sources: Sequence["SourceFile"]  # noqa: F821
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self, source: "SourceFile", node: ast.AST, message: str  # noqa: F821
+    ) -> Finding:
+        return Finding(
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+# --------------------------------------------------------------------- #
+# R001 unseeded-rng
+# --------------------------------------------------------------------- #
+
+
+class UnseededRng(Rule):
+    """R001 unseeded-rng: all randomness must flow through an explicit
+    ``numpy.random.Generator``.
+
+    The simulator is bit-deterministic per seed — the paper's SET-UP /
+    STABLE / COVID-19 comparisons are meaningless if two runs of
+    ``repro.synth`` diverge.  Calls into the *global* RNGs break that
+    contract silently, so inside ``src/`` this rule forbids
+
+    * every call through numpy's module-level RNG (``np.random.rand``,
+      ``np.random.seed``, ``np.random.shuffle``, ...), and
+    * every call through the stdlib ``random`` module
+      (``random.random``, ``random.choice``, ...).
+
+    Constructing generators is fine: ``np.random.default_rng(seed)``,
+    ``np.random.Generator``/``SeedSequence``/``PCG64`` and type
+    annotations are all allowed.  Pass the resulting ``Generator`` down
+    the call stack instead of reaching for global state.
+    """
+
+    id = "R001"
+    name = "unseeded-rng"
+    scope = ("src",)
+
+    _ALLOWED_NP = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                   "PCG64", "Philox", "SFC64", "MT19937"}
+
+    def visit(self, source):  # noqa: ANN001
+        stdlib_aliases = {"random"}
+        from_random: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        stdlib_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    from_random.add(alias.asname or alias.name)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted(node.func)
+            if len(chain) >= 3 and chain[-2] == "random" and chain[0] in (
+                "np", "numpy"
+            ):
+                if chain[-1] not in self._ALLOWED_NP:
+                    yield self.finding(
+                        source, node,
+                        f"call to numpy global RNG "
+                        f"'{'.'.join(chain)}' — use an explicit "
+                        f"numpy.random.Generator (np.random.default_rng(seed))",
+                    )
+            elif (
+                len(chain) == 2
+                and chain[0] in stdlib_aliases
+                and chain[0] != "np"
+            ):
+                yield self.finding(
+                    source, node,
+                    f"call to stdlib random '{'.'.join(chain)}' — use an "
+                    f"explicit numpy.random.Generator",
+                )
+            elif len(chain) == 1 and chain[0] in from_random:
+                yield self.finding(
+                    source, node,
+                    f"call to '{chain[0]}' imported from stdlib random — "
+                    f"use an explicit numpy.random.Generator",
+                )
+
+
+# --------------------------------------------------------------------- #
+# R002 wall-clock-in-library
+# --------------------------------------------------------------------- #
+
+
+class WallClockInLibrary(Rule):
+    """R002 wall-clock-in-library: library code must not read the wall
+    clock.
+
+    ``time.time()``, ``datetime.now()``, ``datetime.today()``,
+    ``date.today()`` and ``datetime.utcnow()`` make output depend on when
+    the code runs, which breaks run-to-run reproducibility and poisons
+    the dataset cache (results keyed by config would differ by wall
+    time).  Timing is a presentation concern: it is allowed in
+    ``cli.py`` (progress messages) and under ``benchmarks/``.
+    Monotonic *interval* clocks (``time.perf_counter`` /
+    ``time.monotonic``) are always allowed — they measure durations, not
+    calendar time.
+    """
+
+    id = "R002"
+    name = "wall-clock-in-library"
+    scope = ("src",)
+
+    _DT_METHODS = {"now", "today", "utcnow"}
+    _DT_OWNERS = {"datetime", "date", "dt", "_dt"}
+
+    def _allowed_path(self, path: str) -> bool:
+        return path.endswith("/cli.py") or "benchmarks/" in path
+
+    def visit(self, source):  # noqa: ANN001
+        if self._allowed_path(source.path):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted(node.func)
+            if chain == ("time", "time"):
+                yield self.finding(
+                    source, node,
+                    "time.time() in library code — wall-clock reads belong "
+                    "in cli.py or benchmarks/ (use time.perf_counter for "
+                    "intervals)",
+                )
+            elif (
+                len(chain) >= 2
+                and chain[-1] in self._DT_METHODS
+                and chain[-2] in self._DT_OWNERS
+            ):
+                yield self.finding(
+                    source, node,
+                    f"wall-clock call '{'.'.join(chain)}()' in library code "
+                    f"— pass timestamps in explicitly",
+                )
+
+
+# --------------------------------------------------------------------- #
+# R003 fast-path-parity
+# --------------------------------------------------------------------- #
+
+
+class FastPathParity(Rule):
+    """R003 fast-path-parity: every public function exposing a ``fast``
+    keyword must be exercised against its object-path reference.
+
+    The vectorized kernels only stay trustworthy while a test pins
+    ``fast=True`` output to the ``fast=False`` reference implementation.
+    This rule collects every public ``def f(..., fast=...)`` in ``src/``
+    and requires that some test in ``tests/`` calls ``f`` (by name, as a
+    function or method) with the literal keyword ``fast=False``.
+    Matching is by terminal name, so ``ds.summary(fast=False)`` covers
+    ``MarketDataset.summary``.  Private (underscore-prefixed) helpers
+    are exempt — their public callers are checked instead.
+    """
+
+    id = "R003"
+    name = "fast-path-parity"
+    scope = ("src", "tests")
+
+    def finalize(self, sources):  # noqa: ANN001
+        fast_funcs: List[Tuple["SourceFile", ast.AST, str]] = []  # noqa: F821
+        referenced: Set[str] = set()
+        for source in sources:
+            if source.kind == "src":
+                for node in ast.walk(source.tree):
+                    if not isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if node.name.startswith("_"):
+                        continue
+                    args = node.args
+                    names = [
+                        a.arg
+                        for a in (
+                            list(args.posonlyargs)
+                            + list(args.args)
+                            + list(args.kwonlyargs)
+                        )
+                    ]
+                    if "fast" in names:
+                        fast_funcs.append((source, node, node.name))
+            elif source.kind == "tests":
+                for node in ast.walk(source.tree):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    for kw in node.keywords:
+                        if (
+                            kw.arg == "fast"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is False
+                        ):
+                            name = _terminal_name(node.func)
+                            if name:
+                                referenced.add(name)
+        for source, node, name in fast_funcs:
+            if name not in referenced:
+                yield self.finding(
+                    source, node,
+                    f"public fast-path function '{name}' has no "
+                    f"fast=False parity reference in tests/ — add a test "
+                    f"comparing fast=True against fast=False",
+                )
+
+
+# --------------------------------------------------------------------- #
+# R004 object-loop-in-kernel
+# --------------------------------------------------------------------- #
+
+
+class ObjectLoopInKernel(Rule):
+    """R004 object-loop-in-kernel: columnar kernels must not fall back to
+    per-object Python loops.
+
+    A *columnar kernel* — a function whose name ends in ``_columnar`` or
+    that carries the ``@columnar_kernel`` decorator from
+    :mod:`repro.core.columns` — promises to compute on the
+    :class:`~repro.core.columns.ColumnStore` arrays.  A ``for`` loop (or
+    comprehension) over the entity lists ``.contracts`` / ``.posts`` /
+    ``.users`` inside one re-introduces the interpreted per-object walk
+    the kernel exists to avoid, usually silently after a refactor.
+    Iterate over store arrays (``np.bincount``, boolean masks,
+    ``np.add.at``) instead, or drop the kernel marking if the function is
+    genuinely object-path code.
+    """
+
+    id = "R004"
+    name = "object-loop-in-kernel"
+    scope = ("src",)
+
+    _ENTITY_LISTS = {"contracts", "posts", "users"}
+
+    def _is_kernel(self, node: ast.AST) -> bool:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        if node.name.endswith("_columnar"):
+            return True
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if _terminal_name(target) == "columnar_kernel":
+                return True
+        return False
+
+    def _entity_iter(self, iter_node: ast.AST) -> Optional[str]:
+        node = iter_node
+        # unwrap slicing/calls like ds.contracts[:n] or list(ds.contracts)
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Call) and len(node.args) == 1:
+            inner = node.args[0]
+            while isinstance(inner, ast.Subscript):
+                inner = inner.value
+            if isinstance(inner, ast.Attribute):
+                node = inner
+        if isinstance(node, ast.Attribute) and node.attr in self._ENTITY_LISTS:
+            return node.attr
+        return None
+
+    def visit(self, source):  # noqa: ANN001
+        for func in ast.walk(source.tree):
+            if not self._is_kernel(func):
+                continue
+            for node in ast.walk(func):
+                iters: List[ast.AST] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)
+                ):
+                    iters.extend(gen.iter for gen in node.generators)
+                for iter_node in iters:
+                    attr = self._entity_iter(iter_node)
+                    if attr:
+                        yield self.finding(
+                            source, node,
+                            f"columnar kernel '{func.name}' loops over "
+                            f".{attr} — compute on ColumnStore arrays "
+                            f"instead of per-object Python loops",
+                        )
+
+
+# --------------------------------------------------------------------- #
+# R005 era-literal
+# --------------------------------------------------------------------- #
+
+
+class EraLiteral(Rule):
+    """R005 era-literal: era-boundary dates have one home,
+    :mod:`repro.core.eras`.
+
+    The SET-UP / STABLE / COVID-19 boundaries (1 Jun 2018, 28 Feb 2019 /
+    1 Mar 2019, 10 Mar 2020 / 11 Mar 2020, 30 Jun 2020) are external
+    facts from §3 of the paper.  Re-typing them as ``Month(2019, 3)`` or
+    ``date(2020, 3, 11)`` literals scatters the definition: if one copy
+    is ever corrected the others silently diverge.  Use
+    ``repro.core.eras`` (``SETUP`` / ``STABLE`` / ``COVID19`` /
+    ``DATA_START`` / ``DATA_END``) plus ``month_of`` / ``add_months``
+    arithmetic.  Calibration data tables are exempt via an allowlist
+    (``synth/config.py``, ``blockchain/rates.py``) because their anchor
+    grids legitimately mention boundary months as *data*, and
+    ``core/eras.py`` itself is the definition site.
+    """
+
+    id = "R005"
+    name = "era-literal"
+    scope = ("src",)
+
+    _ALLOWLIST = (
+        "src/repro/core/eras.py",
+        "src/repro/synth/config.py",
+        "src/repro/blockchain/rates.py",
+    )
+
+    #: First/last calendar month of each era.
+    _BOUNDARY_MONTHS = {
+        (2018, 6), (2019, 2), (2019, 3), (2020, 3), (2020, 6),
+    }
+    #: Exact first/last day of each era.
+    _BOUNDARY_DATES = {
+        (2018, 6, 1), (2019, 2, 28), (2019, 3, 1),
+        (2020, 3, 10), (2020, 3, 11), (2020, 6, 30),
+    }
+
+    def visit(self, source):  # noqa: ANN001
+        if source.path in self._ALLOWLIST:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            if name == "Month":
+                pair = _int_args(node, 2)
+                if pair and pair in self._BOUNDARY_MONTHS:
+                    yield self.finding(
+                        source, node,
+                        f"era-boundary month literal Month{pair} — derive "
+                        f"it from repro.core.eras constants",
+                    )
+            elif name == "parse" and _terminal_name(
+                getattr(node.func, "value", None)
+            ) == "Month":
+                if node.args and isinstance(node.args[0], ast.Constant) and \
+                        isinstance(node.args[0].value, str):
+                    parts = node.args[0].value.split("-")
+                    if len(parts) == 2 and all(p.isdigit() for p in parts):
+                        pair = (int(parts[0]), int(parts[1]))
+                        if pair in self._BOUNDARY_MONTHS:
+                            yield self.finding(
+                                source, node,
+                                f"era-boundary month literal "
+                                f"Month.parse('{node.args[0].value}') — "
+                                f"derive it from repro.core.eras constants",
+                            )
+            elif name in ("date", "datetime"):
+                triple = _int_args(node, 3)
+                if triple and triple in self._BOUNDARY_DATES:
+                    yield self.finding(
+                        source, node,
+                        f"era-boundary date literal {name}{triple} — use "
+                        f"repro.core.eras constants (SETUP/STABLE/COVID19/"
+                        f"DATA_START/DATA_END)",
+                    )
+
+
+# --------------------------------------------------------------------- #
+# R006 float-equality
+# --------------------------------------------------------------------- #
+
+
+class FloatEquality(Rule):
+    """R006 float-equality: tests must not compare floats with ``==`` or
+    ``!=``.
+
+    Exact float comparison makes a test's verdict depend on summation
+    order and platform rounding — precisely what changes when a kernel
+    is vectorized or parallelised, so such tests either flake or mask
+    real drift.  The rule flags ``==``/``!=`` comparisons in ``tests/``
+    where either side is a float literal or an arithmetic expression
+    containing one; use ``pytest.approx`` (or ``math.isclose`` /
+    ``np.allclose``) instead.  Comparisons of computed floats against
+    each other cannot be detected statically without type inference and
+    are out of scope.
+    """
+
+    id = "R006"
+    name = "float-equality"
+    scope = ("tests",)
+
+    def _floaty(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return type(node.value) is float
+        if isinstance(node, ast.UnaryOp):
+            return self._floaty(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._floaty(node.left) or self._floaty(node.right)
+        return False
+
+    def visit(self, source):  # noqa: ANN001
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(
+                node.ops, operands[:-1], operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._floaty(left) or self._floaty(right):
+                    yield self.finding(
+                        source, node,
+                        "float equality comparison in a test — use "
+                        "pytest.approx / math.isclose / np.allclose",
+                    )
+                    break
+
+
+#: Rule registry in id order; ``repro lint --list-rules`` renders it.
+RULES: Dict[str, type] = {
+    rule.id: rule
+    for rule in (
+        UnseededRng,
+        WallClockInLibrary,
+        FastPathParity,
+        ObjectLoopInKernel,
+        EraLiteral,
+        FloatEquality,
+    )
+}
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [RULES[rule_id]() for rule_id in sorted(RULES)]
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Instantiate one rule; raises KeyError with the known ids."""
+    key = rule_id.strip().upper()
+    if key not in RULES:
+        known = ", ".join(sorted(RULES))
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
+    return RULES[key]()

@@ -255,7 +255,7 @@ def degree_growth(
 
     months = sorted(by_month)
     graph = ContractGraph([])
-    series: List[DegreeGrowthPoint] = []
+    series = []
     first, last = months[0], months[-1]
     current = first
     while current <= last:

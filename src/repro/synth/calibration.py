@@ -19,7 +19,8 @@ from ..analysis.payments import top_payment_methods
 from ..analysis.taxonomy import contract_taxonomy, visibility_table
 from ..core.dataset import MarketDataset
 from ..core.entities import ContractStatus, ContractType
-from ..core.timeutils import Month
+from ..core.eras import COVID19, STABLE
+from ..core.timeutils import Month, month_of
 from ..network.degrees import degree_distributions
 
 __all__ = ["CalibrationCheck", "CalibrationReport", "score_calibration"]
@@ -125,14 +126,23 @@ def score_calibration(dataset: MarketDataset) -> CalibrationReport:
 
     by_month = dataset.contracts_by_created_month()
 
-    def month_count(year: int, month: int) -> int:
-        return len(by_month.get(Month(year, month), ()))
+    def month_count(month: Month) -> int:
+        return len(by_month.get(month, ()))
 
-    feb19, mar19 = month_count(2019, 2), month_count(2019, 3)
+    # Era boundaries come from repro.core.eras, never re-typed literals
+    # (reprolint R005): the policy jump is the month contracts became
+    # mandatory (STABLE's first month) vs the month before; the COVID
+    # checks hang off the WHO declaration month and the data end.
+    policy_month = month_of(STABLE.start)
+    feb19, mar19 = month_count(policy_month.prev()), month_count(policy_month)
     ordering("March-2019 policy jump (>2x)", mar19 > 2.0 * max(1, feb19))
-    apr20 = month_count(2020, 4)
-    ordering("April-2020 COVID peak", apr20 > 1.25 * max(1, month_count(2020, 2)))
-    ordering("post-peak decline", month_count(2020, 6) < apr20)
+    covid_month = month_of(COVID19.start)
+    apr20 = month_count(covid_month.next())
+    ordering(
+        "April-2020 COVID peak",
+        apr20 > 1.25 * max(1, month_count(covid_month.prev())),
+    )
+    ordering("post-peak decline", month_count(month_of(COVID19.end)) < apr20)
 
     degrees = degree_distributions(dataset.contracts)
     ordering(

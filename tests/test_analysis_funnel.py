@@ -45,7 +45,7 @@ class TestContractFunnel:
     def test_empty_subset(self, dataset):
         funnel = contract_funnel(dataset, [])
         assert funnel.total_proposed == 0
-        assert funnel.acceptance_rate == 0.0
+        assert funnel.acceptance_rate == pytest.approx(0.0)
 
 
 class TestFunnelByEra:

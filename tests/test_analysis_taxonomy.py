@@ -49,7 +49,7 @@ class TestContractTaxonomy:
 
         table = contract_taxonomy(MarketDataset())
         assert table.total == 0
-        assert table.row_share(ContractType.SALE) == 0.0
+        assert table.row_share(ContractType.SALE) == pytest.approx(0.0)
 
 
 class TestVisibilityTable:

@@ -37,7 +37,7 @@ def btc_contract(cid=1, address=None, txhash=None, completed=NOW):
 class TestRateOracle:
     def test_usd_is_identity(self):
         oracle = RateOracle()
-        assert oracle.usd_per_unit("USD", NOW.date()) == 1.0
+        assert oracle.usd_per_unit("USD", NOW.date()) == pytest.approx(1.0)
 
     def test_btc_in_sane_range(self):
         oracle = RateOracle()
@@ -132,7 +132,7 @@ class TestVerification:
         contract = btc_contract(address=address, txhash=tx.txhash)
         result = verify_contract_value(contract, 2000.0, self.ledger, self.oracle)
         assert result.verdict == Verdict.CONFIRMED
-        assert result.corrected_usd == 2000.0
+        assert result.corrected_usd == pytest.approx(2000.0)
 
     def test_different_value_detected(self):
         address = make_address(2)
@@ -146,7 +146,7 @@ class TestVerification:
         contract = btc_contract()
         result = verify_contract_value(contract, 2000.0, self.ledger, self.oracle)
         assert result.verdict == Verdict.UNCONFIRMED
-        assert result.corrected_usd == 2000.0
+        assert result.corrected_usd == pytest.approx(2000.0)
 
     def test_address_fallback_when_hash_unknown(self):
         address = make_address(3)
@@ -163,7 +163,7 @@ class TestVerification:
         results, summary = verify_high_value_contracts(pairs, self.ledger, self.oracle)
         assert summary.total == 1
         assert summary.unconfirmed == 1
-        assert summary.unconfirmed_share == 1.0
+        assert summary.unconfirmed_share == pytest.approx(1.0)
 
     def test_summary_shares_sum_to_one(self):
         address = make_address(4)

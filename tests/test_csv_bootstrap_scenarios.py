@@ -107,7 +107,7 @@ class TestScenarios:
     def test_scenarios_return_valid_configs(self):
         for factory in (no_covid_scenario, no_mandate_scenario, flat_market_scenario):
             config = factory(scale=0.01)
-            assert config.scale == 0.01
+            assert config.scale == pytest.approx(0.01)
             assert config.created_per_month
 
 

@@ -168,4 +168,4 @@ class TestUserActivity:
         activity = small_dataset.user_activity()
         assert activity[1].lifespan_days() > 0
         # user 5 appears once: zero lifespan
-        assert activity[5].lifespan_days() == 0.0
+        assert activity[5].lifespan_days() == pytest.approx(0.0)

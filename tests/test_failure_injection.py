@@ -74,7 +74,7 @@ class TestEstimatorEdgeCases:
         X = rng.normal(size=(200, 2))
         y = np.zeros(200)
         result = fit_zip(X, y)
-        assert result.pct_zero == 100.0
+        assert result.pct_zero == pytest.approx(100.0)
         assert np.isfinite(result.log_likelihood)
 
     def test_zip_handles_no_zeros(self):
@@ -82,7 +82,7 @@ class TestEstimatorEdgeCases:
         X = rng.normal(size=(300, 1))
         y = rng.poisson(5.0, 300) + 1
         result = fit_zip(X, y)
-        assert result.pct_zero == 0.0
+        assert result.pct_zero == pytest.approx(0.0)
         assert np.isfinite(result.log_likelihood)
 
     def test_mixture_constant_column(self):
@@ -102,4 +102,4 @@ class TestEstimatorEdgeCases:
 
     def test_value_extraction_huge_number(self):
         values = extract_values("$999,999,999 paypal")
-        assert values[0].amount == 999_999_999.0
+        assert values[0].amount == pytest.approx(999_999_999.0)

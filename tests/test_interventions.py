@@ -86,7 +86,7 @@ class TestTrustDistortion:
     def test_no_attack_no_distortion(self, dataset):
         impact = measure_trust_distortion(dataset, dataset, [], ATTACK_TIME)
         assert impact.rank_correlation == pytest.approx(1.0)
-        assert impact.top_k_displaced == 0.0
+        assert impact.top_k_displaced == pytest.approx(0.0)
 
 
 class TestEraVulnerability:

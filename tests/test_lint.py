@@ -1,0 +1,488 @@
+"""reprolint: one positive and one negative fixture per rule, the
+self-run guarantee that the repo lints clean, and the CLI contract
+(exit codes, JSON output, --explain, baseline handling)."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.lint import (
+    RULES,
+    lint_sources,
+    load_baseline,
+    rule_by_id,
+    run_lint,
+    save_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SRC = "src/repro/example.py"
+TESTS = "tests/test_example.py"
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+def lint_one(code, path=SRC, **extra):
+    files = {path: code}
+    files.update(extra)
+    return lint_sources(files)
+
+
+# --------------------------------------------------------------------- #
+# R001 unseeded-rng
+# --------------------------------------------------------------------- #
+
+
+class TestUnseededRng:
+    def test_flags_numpy_global_rng(self):
+        findings = lint_one(
+            "import numpy as np\n"
+            "noise = np.random.rand(10)\n"
+        )
+        assert rule_ids(findings) == ["R001"]
+        assert "np.random.rand" in findings[0].message
+
+    def test_flags_numpy_seed(self):
+        findings = lint_one("import numpy as np\nnp.random.seed(0)\n")
+        assert rule_ids(findings) == ["R001"]
+
+    def test_flags_stdlib_random(self):
+        findings = lint_one("import random\nvalue = random.random()\n")
+        assert rule_ids(findings) == ["R001"]
+
+    def test_flags_from_import(self):
+        findings = lint_one(
+            "from random import choice\npick = choice([1, 2])\n"
+        )
+        assert rule_ids(findings) == ["R001"]
+
+    def test_allows_explicit_generator(self):
+        findings = lint_one(
+            "import numpy as np\n"
+            "def sample(seed: int) -> float:\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return float(rng.normal())\n"
+        )
+        assert findings == []
+
+    def test_allows_generator_annotation(self):
+        findings = lint_one(
+            "import numpy as np\n"
+            "def draw(rng: np.random.Generator) -> float:\n"
+            "    return float(rng.random())\n"
+        )
+        assert findings == []
+
+    def test_tests_are_out_of_scope(self):
+        findings = lint_one(
+            "import random\nvalue = random.random()\n", path=TESTS
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R002 wall-clock-in-library
+# --------------------------------------------------------------------- #
+
+
+class TestWallClockInLibrary:
+    def test_flags_time_time(self):
+        findings = lint_one("import time\nstamp = time.time()\n")
+        assert rule_ids(findings) == ["R002"]
+
+    def test_flags_datetime_now(self):
+        findings = lint_one(
+            "import datetime\nwhen = datetime.datetime.now()\n"
+        )
+        assert rule_ids(findings) == ["R002"]
+
+    def test_flags_date_today(self):
+        findings = lint_one("import datetime as dt\nday = dt.date.today()\n")
+        assert rule_ids(findings) == ["R002"]
+
+    def test_allows_cli_and_benchmarks(self):
+        code = "import time\nstarted = time.time()\n"
+        assert lint_one(code, path="src/repro/cli.py") == []
+        assert lint_one(code, path="benchmarks/bench_thing.py") == []
+
+    def test_allows_perf_counter(self):
+        findings = lint_one("import time\nt0 = time.perf_counter()\n")
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R003 fast-path-parity
+# --------------------------------------------------------------------- #
+
+FAST_FUNC = (
+    "def era_profile(dataset, fast=True):\n"
+    "    return 1 if fast else 2\n"
+)
+
+
+class TestFastPathParity:
+    def test_flags_untested_fast_function(self):
+        findings = lint_one(
+            FAST_FUNC,
+            **{TESTS: "def test_nothing():\n    assert True\n"},
+        )
+        assert rule_ids(findings) == ["R003"]
+        assert "era_profile" in findings[0].message
+
+    def test_parity_reference_satisfies(self):
+        findings = lint_one(
+            FAST_FUNC,
+            **{
+                TESTS: (
+                    "from repro.example import era_profile\n"
+                    "def test_parity(ds):\n"
+                    "    assert era_profile(ds, fast=True) == "
+                    "era_profile(ds, fast=False)\n"
+                )
+            },
+        )
+        assert findings == []
+
+    def test_method_reference_satisfies(self):
+        findings = lint_one(
+            "class Dataset:\n"
+            "    def summary_table(self, fast=True):\n"
+            "        return {}\n",
+            **{
+                TESTS: (
+                    "def test_parity(ds):\n"
+                    "    assert ds.summary_table(fast=True) == "
+                    "ds.summary_table(fast=False)\n"
+                )
+            },
+        )
+        assert findings == []
+
+    def test_fast_true_only_is_not_parity(self):
+        findings = lint_one(
+            FAST_FUNC,
+            **{
+                TESTS: (
+                    "from repro.example import era_profile\n"
+                    "def test_smoke(ds):\n"
+                    "    assert era_profile(ds, fast=True)\n"
+                )
+            },
+        )
+        assert rule_ids(findings) == ["R003"]
+
+    def test_private_helpers_exempt(self):
+        findings = lint_one(
+            "def _inner(dataset, fast=True):\n    return fast\n",
+            **{TESTS: "def test_nothing():\n    assert True\n"},
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R004 object-loop-in-kernel
+# --------------------------------------------------------------------- #
+
+
+class TestObjectLoopInKernel:
+    def test_flags_loop_in_named_kernel(self):
+        findings = lint_one(
+            "def growth_columnar(ds):\n"
+            "    total = 0\n"
+            "    for contract in ds.contracts:\n"
+            "        total += 1\n"
+            "    return total\n"
+        )
+        assert rule_ids(findings) == ["R004"]
+        assert ".contracts" in findings[0].message
+
+    def test_flags_comprehension_in_decorated_kernel(self):
+        findings = lint_one(
+            "from repro.core.columns import columnar_kernel\n"
+            "@columnar_kernel\n"
+            "def post_counts(ds):\n"
+            "    return [p.author_id for p in ds.posts]\n"
+        )
+        assert rule_ids(findings) == ["R004"]
+
+    def test_allows_loop_in_plain_function(self):
+        findings = lint_one(
+            "def growth_reference(ds):\n"
+            "    return sum(1 for c in ds.contracts)\n"
+        )
+        assert findings == []
+
+    def test_allows_array_code_in_kernel(self):
+        findings = lint_one(
+            "import numpy as np\n"
+            "def growth_columnar(store):\n"
+            "    return np.bincount(store.month_idx[store.month_idx >= 0])\n"
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R005 era-literal
+# --------------------------------------------------------------------- #
+
+
+class TestEraLiteral:
+    def test_flags_boundary_month(self):
+        findings = lint_one(
+            "from repro.core.timeutils import Month\n"
+            "POLICY = Month(2019, 3)\n"
+        )
+        assert rule_ids(findings) == ["R005"]
+
+    def test_flags_boundary_date(self):
+        findings = lint_one(
+            "import datetime as dt\nCOVID = dt.date(2020, 3, 11)\n"
+        )
+        assert rule_ids(findings) == ["R005"]
+
+    def test_flags_month_parse(self):
+        findings = lint_one(
+            "from repro.core.timeutils import Month\n"
+            "START = Month.parse('2018-06')\n"
+        )
+        assert rule_ids(findings) == ["R005"]
+
+    def test_allows_non_boundary_literals(self):
+        findings = lint_one(
+            "import datetime as dt\n"
+            "from repro.core.timeutils import Month\n"
+            "PEAK = Month(2020, 4)\n"
+            "SOME_DAY = dt.date(2019, 7, 15)\n"
+        )
+        assert findings == []
+
+    def test_allowlisted_files_exempt(self):
+        code = (
+            "from repro.core.timeutils import Month\n"
+            "ANCHOR = Month(2019, 3)\n"
+        )
+        assert lint_one(code, path="src/repro/synth/config.py") == []
+        assert lint_one(code, path="src/repro/blockchain/rates.py") == []
+
+    def test_eras_module_is_the_definition_site(self):
+        findings = lint_one(
+            "import datetime as _dt\nSTART = _dt.date(2018, 6, 1)\n",
+            path="src/repro/core/eras.py",
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# R006 float-equality
+# --------------------------------------------------------------------- #
+
+
+class TestFloatEquality:
+    def test_flags_float_literal_equality(self):
+        findings = lint_one(
+            "def test_rate(r):\n    assert r.completion_rate == 0.435\n",
+            path=TESTS,
+        )
+        assert rule_ids(findings) == ["R006"]
+
+    def test_flags_arithmetic_with_float(self):
+        findings = lint_one(
+            "def test_ratio(a, b):\n    assert a != b * 1.5\n",
+            path=TESTS,
+        )
+        assert rule_ids(findings) == ["R006"]
+
+    def test_allows_pytest_approx(self):
+        findings = lint_one(
+            "import pytest\n"
+            "def test_rate(r):\n"
+            "    assert r.completion_rate == pytest.approx(0.435)\n",
+            path=TESTS,
+        )
+        assert findings == []
+
+    def test_allows_int_equality(self):
+        findings = lint_one(
+            "def test_count(r):\n    assert r.total == 3\n", path=TESTS
+        )
+        assert findings == []
+
+    def test_src_is_out_of_scope(self):
+        findings = lint_one("THRESHOLD_OK = 1.0 == 1.0\n", path=SRC)
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# registry and explain
+# --------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert sorted(RULES) == [
+            "R001", "R002", "R003", "R004", "R005", "R006",
+        ]
+
+    def test_every_rule_documented(self):
+        for rule_id, rule_cls in RULES.items():
+            assert rule_cls.__doc__, f"{rule_id} missing docstring"
+            assert rule_cls().id == rule_id
+            assert rule_cls().name
+
+    def test_rule_by_id_case_insensitive(self):
+        assert rule_by_id("r003").id == "R003"
+        with pytest.raises(KeyError):
+            rule_by_id("R999")
+
+
+# --------------------------------------------------------------------- #
+# the repo itself lints clean
+# --------------------------------------------------------------------- #
+
+
+class TestSelfRun:
+    def test_repo_lints_clean_against_baseline(self):
+        result = run_lint(str(REPO_ROOT))
+        assert result.parse_errors == []
+        assert result.findings == [], "\n".join(
+            f.render() for f in result.findings
+        )
+        assert result.exit_code == 0
+        assert result.files_checked > 100
+
+    def test_repo_baseline_is_empty(self):
+        baseline = load_baseline(str(REPO_ROOT / "lint-baseline.txt"))
+        assert baseline == set()
+
+
+# --------------------------------------------------------------------- #
+# CLI contract
+# --------------------------------------------------------------------- #
+
+VIOLATIONS = {
+    "R001": ("src/repro/v1.py", "import numpy as np\nx = np.random.rand(3)\n"),
+    "R002": ("src/repro/v2.py", "import time\nstamp = time.time()\n"),
+    "R003": ("src/repro/v3.py", "def profile(ds, fast=True):\n    return fast\n"),
+    "R004": (
+        "src/repro/v4.py",
+        "def tally_columnar(ds):\n"
+        "    return sum(1 for c in ds.contracts)\n",
+    ),
+    "R005": (
+        "src/repro/v5.py",
+        "from repro.core.timeutils import Month\nJUMP = Month(2019, 3)\n",
+    ),
+    "R006": (
+        "tests/test_v6.py",
+        "def test_value(v):\n    assert v == 0.435\n",
+    ),
+}
+
+
+def make_tree(tmp_path, files):
+    for relative, code in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(code, encoding="utf-8")
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        make_tree(tmp_path, {"src/repro/ok.py": "VALUE = 1\n"})
+        assert main(["lint", "--root", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
+    def test_each_rule_violation_exits_one(self, tmp_path, capsys, rule_id):
+        relative, code = VIOLATIONS[rule_id]
+        make_tree(tmp_path, {relative: code, "tests/test_empty.py": ""})
+        assert main(["lint", "--root", str(tmp_path)]) == 1
+        assert rule_id in capsys.readouterr().out
+
+    @pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
+    def test_each_rule_violation_in_json(self, tmp_path, capsys, rule_id):
+        relative, code = VIOLATIONS[rule_id]
+        make_tree(tmp_path, {relative: code, "tests/test_empty.py": ""})
+        assert main(
+            ["lint", "--root", str(tmp_path), "--format", "json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert rule_id in {f["rule"] for f in payload["findings"]}
+        assert all(
+            {"path", "line", "col", "severity", "message"} <= set(f)
+            for f in payload["findings"]
+        )
+
+    def test_json_clean_tree(self, tmp_path, capsys):
+        make_tree(tmp_path, {"src/repro/ok.py": "VALUE = 1\n"})
+        assert main(
+            ["lint", "--root", str(tmp_path), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == [] and payload["exit_code"] == 0
+
+    def test_baseline_suppresses_grandfathered(self, tmp_path, capsys):
+        relative, code = VIOLATIONS["R001"]
+        make_tree(tmp_path, {relative: code})
+        assert main(["lint", "--root", str(tmp_path),
+                     "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "lint-baseline.txt").exists()
+        assert main(["lint", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed by baseline" in out
+        # A *new* violation still fails even with the old one baselined.
+        make_tree(tmp_path, {"src/repro/fresh.py": "import time\nt = time.time()\n"})
+        assert main(["lint", "--root", str(tmp_path)]) == 1
+
+    def test_save_and_load_baseline_round_trip(self, tmp_path):
+        findings = run_lint(
+            str(tmp_path), paths=None, baseline_path=""
+        ).findings
+        target = tmp_path / "baseline.txt"
+        make_tree(tmp_path, {VIOLATIONS["R002"][0]: VIOLATIONS["R002"][1]})
+        result = run_lint(str(tmp_path), baseline_path="")
+        save_baseline(str(target), result.findings)
+        keys = load_baseline(str(target))
+        assert len(keys) == len(result.findings)
+        again = run_lint(str(tmp_path), baseline_path=str(target))
+        assert again.findings == [] and len(again.suppressed) == 1
+
+    def test_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "R003"]) == 0
+        out = capsys.readouterr().out
+        assert "fast-path-parity" in out and "fast=False" in out
+
+    def test_explain_unknown_rule(self, capsys):
+        assert main(["lint", "--explain", "R999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_missing_root_is_usage_error(self, tmp_path):
+        assert main(["lint", "--root", str(tmp_path / "nowhere")]) == 2
+
+    def test_syntax_error_is_reported(self, tmp_path, capsys):
+        make_tree(tmp_path, {"src/repro/broken.py": "def broken(:\n"})
+        assert main(["lint", "--root", str(tmp_path)]) == 1
+        assert "parse error" in capsys.readouterr().out
+
+    def test_explicit_paths_restrict_sweep(self, tmp_path, capsys):
+        make_tree(tmp_path, {
+            "src/repro/v1.py": VIOLATIONS["R001"][1],
+            "src/repro/ok.py": "VALUE = 1\n",
+        })
+        assert main(["lint", "--root", str(tmp_path),
+                     "src/repro/ok.py"]) == 0

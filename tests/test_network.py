@@ -85,7 +85,7 @@ class TestContractGraph:
         graph = ContractGraph([])
         assert len(graph) == 0
         assert graph.max_degree("raw") == 0
-        assert graph.average_degree("raw") == 0.0
+        assert graph.average_degree("raw") == pytest.approx(0.0)
 
 
 class TestDegreeDistributions:

@@ -24,7 +24,7 @@ class TestDispersionIndex:
         assert dispersion_index(counts) > 1.5
 
     def test_constant_zero(self):
-        assert dispersion_index([0, 0, 0, 0]) == 0.0
+        assert dispersion_index([0, 0, 0, 0]) == pytest.approx(0.0)
 
     def test_too_few_rejected(self):
         with pytest.raises(ValueError):

@@ -26,7 +26,7 @@ class TestGini:
         assert gini([1, 3]) == pytest.approx(0.25)
 
     def test_zero_total(self):
-        assert gini([0, 0, 0]) == 0.0
+        assert gini([0, 0, 0]) == pytest.approx(0.0)
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
@@ -40,8 +40,8 @@ class TestGini:
 class TestLorenzAndShares:
     def test_lorenz_endpoints(self):
         pop, share = lorenz_curve([1, 2, 3, 4])
-        assert pop[0] == 0.0 and share[0] == 0.0
-        assert pop[-1] == 1.0 and share[-1] == pytest.approx(1.0)
+        assert pop[0] == pytest.approx(0.0) and share[0] == pytest.approx(0.0)
+        assert pop[-1] == pytest.approx(1.0) and share[-1] == pytest.approx(1.0)
 
     def test_lorenz_monotone(self):
         _, share = lorenz_curve([5, 1, 9, 2, 7])
@@ -71,7 +71,7 @@ class TestLorenzAndShares:
     def test_herfindahl_bounds(self):
         assert herfindahl([1, 1, 1, 1]) == pytest.approx(0.25)
         assert herfindahl([0, 0, 10]) == pytest.approx(1.0)
-        assert herfindahl([0.0]) == 0.0
+        assert herfindahl([0.0]) == pytest.approx(0.0)
 
 
 class TestPreprocessing:
@@ -105,14 +105,14 @@ class TestPreprocessing:
     def test_sqrt_transform_skip_columns(self):
         X = np.array([[4.0, 9.0]])
         out = sqrt_transform(X, skip_columns=[1])
-        assert out[0, 0] == 2.0
-        assert out[0, 1] == 9.0
+        assert out[0, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(9.0)
 
     def test_sqrt_transform_clips_negatives(self):
         X = np.array([[-4.0]])
-        assert sqrt_transform(X)[0, 0] == 0.0
+        assert sqrt_transform(X)[0, 0] == pytest.approx(0.0)
 
     def test_sqrt_transform_copies(self):
         X = np.array([[4.0]])
         sqrt_transform(X)
-        assert X[0, 0] == 4.0
+        assert X[0, 0] == pytest.approx(4.0)

@@ -97,7 +97,7 @@ class TestFitPoisson:
 
 class TestInformationCriteria:
     def test_aic_formula(self):
-        assert aic(-100.0, 3) == 206.0
+        assert aic(-100.0, 3) == pytest.approx(206.0)
 
     def test_bic_formula(self):
         assert bic(-100.0, 3, 100) == pytest.approx(3 * np.log(100) + 200)

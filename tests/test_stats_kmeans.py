@@ -83,7 +83,7 @@ class TestSilhouette:
 
     def test_single_cluster_zero(self):
         X = blobs()
-        assert silhouette_score(X, np.zeros(len(X), dtype=int)) == 0.0
+        assert silhouette_score(X, np.zeros(len(X), dtype=int)) == pytest.approx(0.0)
 
 
 class TestChooseK:

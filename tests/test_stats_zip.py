@@ -110,8 +110,8 @@ class TestVuong:
     def test_identical_models_indistinguishable(self):
         ll = np.random.default_rng(0).normal(size=100)
         result = vuong_test(ll, ll.copy())
-        assert result.statistic == 0.0
-        assert result.p_value == 1.0
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
 
     def test_clear_winner(self):
         rng = np.random.default_rng(0)

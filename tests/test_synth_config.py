@@ -19,8 +19,8 @@ class TestInterpolateCurve:
     def test_exact_at_anchors(self):
         months = all_months()
         curve = interpolate_curve([("2018-06", 10.0), ("2018-08", 30.0)], months)
-        assert curve[Month(2018, 6)] == 10.0
-        assert curve[Month(2018, 8)] == 30.0
+        assert curve[Month(2018, 6)] == pytest.approx(10.0)
+        assert curve[Month(2018, 8)] == pytest.approx(30.0)
 
     def test_linear_between_anchors(self):
         months = all_months()
@@ -30,13 +30,13 @@ class TestInterpolateCurve:
     def test_clamped_outside_anchors(self):
         months = all_months()
         curve = interpolate_curve([("2019-01", 5.0), ("2019-03", 9.0)], months)
-        assert curve[Month(2018, 6)] == 5.0
-        assert curve[Month(2020, 6)] == 9.0
+        assert curve[Month(2018, 6)] == pytest.approx(5.0)
+        assert curve[Month(2020, 6)] == pytest.approx(9.0)
 
     def test_single_anchor_constant(self):
         months = all_months()
         curve = interpolate_curve([("2019-01", 7.0)], months)
-        assert all(v == 7.0 for v in curve.values())
+        assert all(v == pytest.approx(7.0) for v in curve.values())
 
     def test_empty_curve_rejected(self):
         with pytest.raises(ValueError):
@@ -58,11 +58,11 @@ class TestClassTables:
 
     def test_paper_rates_spot_checks(self):
         """Table 6 values transcribed correctly."""
-        assert MAKE_RATES["K"][ContractType.EXCHANGE] == 31.2
-        assert TAKE_RATES["L"][ContractType.SALE] == 54.9
-        assert MAKE_RATES["H"][ContractType.PURCHASE] == 10.0
-        assert MAKE_RATES["C"][ContractType.SALE] == 1.1
-        assert TAKE_RATES["A"][ContractType.SALE] == 10.1
+        assert MAKE_RATES["K"][ContractType.EXCHANGE] == pytest.approx(31.2)
+        assert TAKE_RATES["L"][ContractType.SALE] == pytest.approx(54.9)
+        assert MAKE_RATES["H"][ContractType.PURCHASE] == pytest.approx(10.0)
+        assert MAKE_RATES["C"][ContractType.SALE] == pytest.approx(1.1)
+        assert TAKE_RATES["A"][ContractType.SALE] == pytest.approx(10.1)
 
     def test_rates_non_negative(self):
         for table in (MAKE_RATES, TAKE_RATES):
@@ -77,9 +77,9 @@ class TestClassTables:
 class TestSchedules:
     def test_schedule_entry_interpolation(self):
         entry = ClassScheduleEntry(10.0, 20.0)
-        assert entry.at(0.0) == 10.0
-        assert entry.at(1.0) == 20.0
-        assert entry.at(0.5) == 15.0
+        assert entry.at(0.0) == pytest.approx(10.0)
+        assert entry.at(1.0) == pytest.approx(20.0)
+        assert entry.at(0.5) == pytest.approx(15.0)
 
     def test_config_class_weight_positive(self):
         config = SimulationConfig(scale=0.01)

@@ -33,7 +33,7 @@ class TestExtractValues:
     def test_dollar_amount(self):
         values = extract_values("sending $150 paypal")
         assert len(values) == 1
-        assert values[0].amount == 150.0
+        assert values[0].amount == pytest.approx(150.0)
         assert values[0].currency == "USD"
 
     def test_thousands_separator(self):
