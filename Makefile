@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench bench-smoke reproduce reproduce-full clean
+.PHONY: install test lint docscheck typecheck bench bench-smoke reproduce reproduce-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,11 @@ lint:
 	@$(PYTHON) -c "import mypy" 2>/dev/null \
 		&& $(PYTHON) -m mypy \
 		|| echo "mypy not installed (pip install -e .[lint]); skipping type check"
+
+# Documentation link/reference check: dead relative links or stale
+# `repro.*` module references in docs/**/*.md and README.md fail.
+docscheck:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro docscheck
 
 typecheck:
 	$(PYTHON) -m mypy

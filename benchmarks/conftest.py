@@ -7,17 +7,25 @@ harness runs in a couple of minutes; set 1.0 to reproduce the paper's
 ~190k-contract volume).
 
 Every report is also written to ``benchmarks/results/<id>.txt`` so the
-regenerated tables/figures can be diffed against the paper after a run.
+regenerated tables/figures can be diffed against the paper after a run,
+and the session leaves a ``benchmarks/results/run_manifest.json``
+recording exactly which dataset (config fingerprint, seed, scale) the
+timings were measured against — see docs/provenance.md.
 """
 
 from __future__ import annotations
 
 import os
+import platform
+import time
 
 import pytest
 
+import repro
 from repro import ExperimentContext, generate_market
+from repro.obs import RunManifest, peak_rss_bytes, write_manifest
 from repro.report.experiments import ExperimentReport
+from repro.synth.cache import config_fingerprint
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20201027"))
@@ -27,8 +35,28 @@ _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 @pytest.fixture(scope="session")
 def sim():
-    """The benchmark market (shared across all benches)."""
-    return generate_market(scale=BENCH_SCALE, seed=BENCH_SEED)
+    """The benchmark market (shared across all benches).
+
+    Teardown writes the session's provenance manifest so the benchmark
+    JSON reports can be matched to the dataset that produced them.
+    """
+    started = time.time()
+    result = generate_market(scale=BENCH_SCALE, seed=BENCH_SEED)
+    yield result
+    manifest = RunManifest(
+        command="benchmarks",
+        config_sha256=config_fingerprint(result.config),
+        seed=BENCH_SEED,
+        scale=BENCH_SCALE,
+        package_version=repro.__version__,
+        python_version=platform.python_version(),
+        created_unix=started,
+        dataset=result.dataset.summary(),
+        total_seconds=time.time() - started,
+        peak_rss_bytes=peak_rss_bytes(),
+    )
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    write_manifest(manifest, _RESULTS_DIR)
 
 
 @pytest.fixture(scope="session")

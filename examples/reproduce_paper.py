@@ -6,15 +6,20 @@ Run::
 
 Generates the synthetic market once, then runs all 25 registered
 experiments (Tables 1-10, Figures 1-13, Sections 4.5 and 5.2) and writes
-each regenerated artefact to a text file.  At ``--scale 1.0`` the market
-matches the paper's ~190k-contract volume (allow a few minutes).
+each regenerated artefact to a text file plus a ``run_manifest.json``
+provenance record (see docs/provenance.md).  At ``--scale 1.0`` the
+market matches the paper's ~190k-contract volume (allow a few minutes).
 """
 
 import argparse
 import os
+import platform
 import time
 
+import repro
 from repro import EXPERIMENTS, ExperimentContext, generate_market, run_experiment
+from repro.obs import RunManifest, enable_tracing, peak_rss_bytes, write_manifest
+from repro.synth.cache import config_fingerprint
 
 
 def main() -> None:
@@ -26,6 +31,7 @@ def main() -> None:
                         help="subset of experiment ids (e.g. table1 fig07)")
     args = parser.parse_args()
 
+    tracer = enable_tracing()
     started = time.time()
     print(f"Generating market (scale={args.scale}, seed={args.seed}) ...")
     result = generate_market(scale=args.scale, seed=args.seed)
@@ -36,6 +42,7 @@ def main() -> None:
     os.makedirs(args.out, exist_ok=True)
 
     wanted = args.only or list(EXPERIMENTS)
+    timings = []
     for experiment_id in wanted:
         t0 = time.time()
         report = run_experiment(experiment_id, ctx)
@@ -43,9 +50,32 @@ def main() -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(report.text())
             handle.write("\n")
-        print(f"  {experiment_id:<8s} -> {path} ({time.time() - t0:.1f}s)")
+        seconds = time.time() - t0
+        timings.append({"id": experiment_id, "seconds": seconds})
+        print(f"  {experiment_id:<8s} -> {path} ({seconds:.1f}s)")
+
+    manifest = RunManifest(
+        command="examples/reproduce_paper.py",
+        config_sha256=config_fingerprint(result.config),
+        seed=args.seed,
+        scale=args.scale,
+        package_version=repro.__version__,
+        python_version=platform.python_version(),
+        created_unix=started,
+        params={"experiments": len(wanted)},
+        dataset=result.dataset.summary(),
+        experiments=timings,
+        total_seconds=time.time() - started,
+        peak_rss_bytes=peak_rss_bytes(),
+        counters=dict(tracer.counters),
+        gauges=dict(tracer.gauges),
+        spans=[record.to_dict() for record in tracer.roots],
+    )
+    manifest_path = write_manifest(manifest, args.out)
 
     print(f"\nDone: {len(wanted)} artefacts in {time.time() - started:.1f}s.")
+    print(f"Provenance: {manifest_path} "
+          f"(render with 'python -m repro trace show {manifest_path}')")
     print("Compare against the paper with EXPERIMENTS.md as the index.")
 
 

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..core.dataset import MarketDataset
+from ..core.kernels import count_dispatch
 from ..core.entities import Contract
 from ..core.timeutils import Month, month_of
 from ..text.taxonomy import (
@@ -165,6 +166,7 @@ def top_trading_activities(
     default categoriser: the per-text regex pass is memoized on the
     columnar store and all counting happens on bitmask arrays.
     """
+    count_dispatch(fast and categorizer is None and contracts is None)
     if fast and categorizer is None and contracts is None:
         store = dataset.columns()
         rows, maker_m, taker_m, _ = _activity_masks(dataset)
@@ -260,6 +262,7 @@ def product_evolution(
     (default-categoriser calls) reuses the memoized both-sides bitmasks
     and bincounts the per-category monthly series.
     """
+    count_dispatch(fast and categorizer is None)
     if fast and categorizer is None:
         store = dataset.columns()
         rows, _, _, sides_m = _activity_masks(dataset)

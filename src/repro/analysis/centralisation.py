@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.columns import month_from_index
 from ..core.dataset import MarketDataset
+from ..core.kernels import count_dispatch
 from ..core.entities import Contract
 from ..core.timeutils import Month, month_of
 from ..stats.descriptive import concentration_curve, gini
@@ -100,6 +101,7 @@ def concentration_curves(
     evaluates each curve with one sort + cumsum instead of a per-percent
     ``top_share`` pass.
     """
+    count_dispatch(fast)
     if fast:
         store = dataset.columns()
         completed = store.is_complete
@@ -190,6 +192,7 @@ def key_share_by_month(
     Key members and key threads are recomputed for every month (both as
     maker and taker, per the paper).
     """
+    count_dispatch(fast)
     if fast:
         store = dataset.columns()
         present = np.unique(

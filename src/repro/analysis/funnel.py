@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.dataset import MarketDataset
+from ..core.kernels import count_dispatch
 from ..core.entities import Contract, ContractStatus
 from ..core.eras import ERAS, Era
 
@@ -106,6 +107,7 @@ def contract_funnel(
     ``fast`` (whole-dataset calls only) tallies statuses with a single
     ``np.bincount`` over the columnar store.
     """
+    count_dispatch(fast and contracts is None)
     if fast and contracts is None:
         import numpy as np
 
@@ -126,6 +128,7 @@ def contract_funnel(
 
 def funnel_by_era(dataset: MarketDataset, fast: bool = True) -> Dict[str, ContractFunnel]:
     """The funnel per era (by creation date)."""
+    count_dispatch(fast)
     if fast:
         import numpy as np
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core.columns import month_from_index
 from ..core.dataset import MarketDataset
+from ..core.kernels import count_dispatch
 from ..core.entities import Contract, ContractType
 from ..core.timeutils import Month, month_of
 
@@ -76,6 +77,7 @@ def monthly_growth(dataset: MarketDataset, fast: bool = True) -> List[GrowthPoin
     ``fast`` runs on the columnar store via ``np.bincount``;
     ``fast=False`` keeps the object-path reference implementation.
     """
+    count_dispatch(fast)
     if fast:
         store = dataset.columns()
         created_counts = _month_counts(store.month_idx)
@@ -148,6 +150,7 @@ def visibility_share(
 
     Returns ``{month: {"created": share, "completed": share}}``.
     """
+    count_dispatch(fast)
     if fast:
         store = dataset.columns()
         created_total = _month_counts(store.month_idx)
@@ -198,6 +201,7 @@ def type_proportions(
     Shares are of contracts created that month (or completed, when
     ``completed_only``); they sum to 1 per month.
     """
+    count_dispatch(fast)
     if fast:
         from ..core.columns import CTYPE_ORDER
 
@@ -253,6 +257,7 @@ def completion_times(
     Only contracts with a recorded completion date contribute; months or
     types with no such contracts are absent from the inner dict.
     """
+    count_dispatch(fast)
     if fast:
         from ..core.columns import CTYPE_ORDER
 

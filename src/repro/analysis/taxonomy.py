@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..core.dataset import MarketDataset
+from ..core.kernels import count_dispatch
 from ..core.entities import ContractStatus, ContractType, Visibility
 
 __all__ = [
@@ -87,6 +88,7 @@ def contract_taxonomy(dataset: MarketDataset, fast: bool = True) -> TaxonomyTabl
     ``fast`` computes the whole table as one ``np.bincount`` over the
     columnar store; ``fast=False`` keeps the object-path reference.
     """
+    count_dispatch(fast)
     if fast:
         import numpy as np
 
@@ -163,6 +165,7 @@ class VisibilityTable:
 
 def visibility_table(dataset: MarketDataset, fast: bool = True) -> VisibilityTable:
     """Tabulate visibility per type for created and completed contracts."""
+    count_dispatch(fast)
     if fast:
         import numpy as np
 

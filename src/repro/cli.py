@@ -6,9 +6,12 @@ Usage::
     python -m repro experiment table1 --scale 0.05               # one artefact
     python -m repro experiment all --scale 0.1 --out results/    # everything
     python -m repro report --scale 0.1 --parallel 4              # cached full suite
+    python -m repro report --trace --scale 0.05                  # + timing tree/manifest
+    python -m repro trace show run_manifest.json                 # render a manifest
     python -m repro summary --data market/                       # dataset overview
     python -m repro eras --scale 0.05                            # per-era profiles
     python -m repro lint                                         # invariant checks
+    python -m repro docscheck                                    # docs link check
 
 ``--data DIR`` loads a previously saved dataset (JSONL) instead of
 generating one; analyses that need the rate oracle rebuild the
@@ -67,12 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", help="also write artefacts under this directory")
     report.add_argument("--latent-k", type=int, default=12)
     report.add_argument("--parallel", type=int, default=1, metavar="N",
-                        help="fan experiments across N worker processes")
+                        help="fan experiments across N forked worker processes; "
+                             "workers inherit the parent's dataset and share "
+                             "the same on-disk dataset cache, so none of them "
+                             "regenerates the market")
     report.add_argument("--cache-dir",
                         help="dataset cache root (default: $REPRO_CACHE_DIR "
                              "or ~/.cache/repro)")
     report.add_argument("--no-cache", action="store_true",
                         help="always regenerate; don't read or write the cache")
+    report.add_argument("--trace", action="store_true",
+                        help="record span timings and counters, print the "
+                             "timing tree, and write run_manifest.json next "
+                             "to the artefacts (--out, else the current "
+                             "directory)")
 
     summary = commands.add_parser("summary", help="print a dataset overview")
     _market_args(summary)
@@ -91,6 +102,28 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--data", help="dataset directory (JSONL); generated if omitted")
     export.add_argument("--out", required=True, help="CSV output directory")
     _market_args(export)
+
+    trace = commands.add_parser(
+        "trace", help="inspect run manifests written by 'report --trace'"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_sub.add_parser(
+        "show", help="render a run manifest as a provenance/timing report"
+    )
+    trace_show.add_argument(
+        "manifest",
+        help="manifest file, or a directory containing run_manifest.json",
+    )
+
+    docscheck = commands.add_parser(
+        "docscheck",
+        help="check docs/ and README.md for dead links and stale module "
+             "references",
+    )
+    docscheck.add_argument("--root", default=".",
+                           help="repository root (default: current directory)")
+    docscheck.add_argument("--format", choices=("text", "json"), default="text",
+                           help="output format")
 
     lint = commands.add_parser(
         "lint",
@@ -202,6 +235,12 @@ def _cmd_report(args) -> int:
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    tracer = None
+    if args.trace:
+        from .obs import enable_tracing
+
+        tracer = enable_tracing()
+    run_started_unix = time.time()
     started = time.time()
     if args.no_cache:
         result = generate_market(
@@ -244,7 +283,73 @@ def _cmd_report(args) -> int:
         f"({len(runs)} experiments, parallel={max(1, args.parallel)})",
         file=sys.stderr,
     )
+
+    if tracer is not None:
+        import platform
+
+        from .obs import (
+            RunManifest,
+            peak_rss_bytes,
+            render_counters,
+            render_timing_tree,
+            write_manifest,
+        )
+        from .synth.cache import config_fingerprint
+
+        manifest = RunManifest(
+            command="report",
+            config_sha256=config_fingerprint(result.config),
+            seed=args.seed,
+            scale=args.scale,
+            package_version=__version__,
+            python_version=platform.python_version(),
+            created_unix=run_started_unix,
+            params={
+                "parallel": max(1, args.parallel),
+                "latent_k": args.latent_k,
+                "posts": not args.no_posts,
+                "cache": not args.no_cache,
+                "experiments": len(runs),
+            },
+            dataset=result.dataset.summary(),
+            experiments=[
+                {"id": run.experiment_id, "seconds": run.seconds} for run in runs
+            ],
+            total_seconds=time.time() - run_started_unix,
+            peak_rss_bytes=peak_rss_bytes(),
+            counters=dict(tracer.counters),
+            gauges=dict(tracer.gauges),
+            spans=[record.to_dict() for record in tracer.roots],
+        )
+        manifest_path = write_manifest(manifest, args.out or ".")
+        print("", file=sys.stderr)
+        print("timing tree:", file=sys.stderr)
+        for line in render_timing_tree(tracer.roots):
+            print("  " + line, file=sys.stderr)
+        print("counters:", file=sys.stderr)
+        for line in render_counters(tracer.counters, tracer.gauges):
+            print("  " + line, file=sys.stderr)
+        print(f"manifest: {manifest_path}", file=sys.stderr)
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import read_manifest, render_manifest
+
+    try:
+        manifest = read_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in render_manifest(manifest):
+        print(line)
+    return 0
+
+
+def _cmd_docscheck(args) -> int:
+    from .devtools.docscheck import run_docscheck_command
+
+    return run_docscheck_command(args)
 
 
 def _cmd_summary(args) -> int:
@@ -317,6 +422,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "export-csv": _cmd_export_csv,
         "lint": _cmd_lint,
+        "trace": _cmd_trace,
+        "docscheck": _cmd_docscheck,
     }
     return handlers[args.command](args)
 

@@ -26,7 +26,8 @@ from .entities import (
     Visibility,
 )
 from .eras import Era, era_of
-from .kernels import columnar_kernel
+from ..obs.tracer import get_tracer
+from .kernels import columnar_kernel, count_dispatch
 from .timeutils import Month, month_of
 
 __all__ = ["MarketDataset", "UserActivity"]
@@ -118,7 +119,10 @@ class MarketDataset:
         if self._columns is None:
             from .columns import ColumnStore
 
-            self._columns = ColumnStore(self)
+            tracer = get_tracer()
+            with tracer.span("columns.build"):
+                self._columns = ColumnStore(self)
+            tracer.count("columns.builds")
         return self._columns
 
     # ------------------------------------------------------------------ #
@@ -246,6 +250,7 @@ class MarketDataset:
         maker/taker columns); ``fast=False`` keeps the object-path
         reference implementation.
         """
+        count_dispatch(fast)
         if fast and self.contracts:
             import numpy as np
 
@@ -278,6 +283,7 @@ class MarketDataset:
         over the columnar store; ``fast=False`` keeps the object-path
         reference implementation.
         """
+        count_dispatch(fast)
         if fast:
             return self._user_activity_columnar(start, end)
 
@@ -453,6 +459,7 @@ class MarketDataset:
         ``fast`` reads the columnar store; ``fast=False`` runs a single
         object pass computing all contract-derived counts together.
         """
+        count_dispatch(fast)
         if fast and self.contracts:
             import numpy as np
 

@@ -9,15 +9,23 @@ passthrough decorator; its value is that reprolint's R004
 naming convention) and flags any per-object loop that sneaks back into a
 marked function during a refactor.
 
+:func:`count_dispatch` is the telemetry seam shared by every public
+``fast=`` entry point: it bumps the ``kernel.dispatch.fast`` /
+``kernel.dispatch.object`` counters on the active tracer, making the
+fast-path coverage of a run visible in its manifest.
+
 Kept numpy-free so :mod:`repro.core.dataset` can import it eagerly
-without pulling in the array stack.
+without pulling in the array stack (:mod:`repro.obs.tracer` is
+stdlib-only).
 """
 
 from __future__ import annotations
 
 from typing import Callable, TypeVar
 
-__all__ = ["columnar_kernel"]
+from ..obs.tracer import get_tracer
+
+__all__ = ["columnar_kernel", "count_dispatch"]
 
 F = TypeVar("F", bound=Callable)
 
@@ -26,3 +34,17 @@ def columnar_kernel(func: F) -> F:
     """Mark ``func`` as a columnar kernel (enforced by reprolint R004)."""
     func.__columnar_kernel__ = True  # type: ignore[attr-defined]
     return func
+
+
+def count_dispatch(fast_path: bool) -> None:
+    """Count one fast-/object-path dispatch on the active tracer.
+
+    Called at the top of every public function exposing a ``fast``
+    keyword, with the *effective* branch condition (e.g. ``fast and
+    contracts is None``); a no-op when tracing is disabled.
+    """
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count(
+            "kernel.dispatch.fast" if fast_path else "kernel.dispatch.object"
+        )

@@ -508,6 +508,38 @@ class FloatEquality(Rule):
                     break
 
 
+# --------------------------------------------------------------------- #
+# R007 undocumented-public-module
+# --------------------------------------------------------------------- #
+
+
+class UndocumentedPublicModule(Rule):
+    """R007 undocumented-public-module: every module under ``src/repro``
+    must open with a module docstring.
+
+    The documentation site (``docs/``) orients readers by package, but
+    the per-module story lives in the modules themselves — the docstring
+    is the one place a reader landing via ``help()``, an editor hover or
+    the docs' package map learns what a file is *for*.  A missing
+    docstring is usually a freshly split module whose purpose exists
+    only in a commit message.  State the module's job in a sentence or
+    two at the top; tests and benchmarks are out of scope (their names
+    carry the intent).
+    """
+
+    id = "R007"
+    name = "undocumented-public-module"
+    scope = ("src",)
+
+    def visit(self, source):  # noqa: ANN001
+        if ast.get_docstring(source.tree) is None:
+            yield self.finding(
+                source, source.tree,
+                "module has no docstring — open every src/repro module "
+                "with a short statement of what it is for",
+            )
+
+
 #: Rule registry in id order; ``repro lint --list-rules`` renders it.
 RULES: Dict[str, type] = {
     rule.id: rule
@@ -518,6 +550,7 @@ RULES: Dict[str, type] = {
         ObjectLoopInKernel,
         EraLiteral,
         FloatEquality,
+        UndocumentedPublicModule,
     )
 }
 

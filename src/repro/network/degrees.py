@@ -14,6 +14,7 @@ import numpy as np
 
 from ..core.columns import month_from_index
 from ..core.dataset import MarketDataset
+from ..core.kernels import count_dispatch
 from ..core.entities import Contract
 from ..core.timeutils import Month, month_of
 from .graph import DEGREE_KINDS, ContractGraph
@@ -114,6 +115,7 @@ def dataset_degree_distributions(
     endpoint keys and degrees read off with ``np.bincount`` — no Python
     per-contract loop and no set-of-sets adjacency.
     """
+    count_dispatch(fast)
     if not fast:
         contracts = dataset.completed() if completed_only else dataset.contracts
         return degree_distributions(contracts)
@@ -192,6 +194,7 @@ def degree_growth(
     ``np.add.at`` updates of running degree arrays; ``fast=False`` keeps
     the incremental :class:`ContractGraph` reference.
     """
+    count_dispatch(fast)
     if fast:
         store = dataset.columns()
         mask = store.is_complete if completed_only else None

@@ -1,0 +1,58 @@
+"""repro.obs — run telemetry: spans, counters, manifests, rendering.
+
+A dependency-free observability layer for the reproduction:
+
+* :mod:`repro.obs.tracer` — the :class:`Span`/:class:`Tracer` API with a
+  zero-overhead-when-disabled :func:`get_tracer` seam, typed counters and
+  gauges, and fork-safe child-span merging;
+* :mod:`repro.obs.manifest` — :class:`RunManifest`, the JSON provenance
+  record written next to report/bench artefacts (config sha256, seed,
+  scale, per-experiment wall times, peak RSS, span tree);
+* :mod:`repro.obs.render` — ASCII timing trees and the ``trace show``
+  manifest report.
+
+See ``docs/observability.md`` for the tracing API guide and
+``docs/provenance.md`` for the manifest schema.
+"""
+
+from .manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    RunManifest,
+    read_manifest,
+    write_manifest,
+)
+from .render import render_counters, render_manifest, render_timing_tree
+from .tracer import (
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    peak_rss_bytes,
+    set_tracer,
+    tracing_enabled,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "RunManifest",
+    "read_manifest",
+    "write_manifest",
+    "render_counters",
+    "render_manifest",
+    "render_timing_tree",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "peak_rss_bytes",
+    "set_tracer",
+    "tracing_enabled",
+]

@@ -1,0 +1,134 @@
+"""RunManifest: the provenance record written next to run artefacts.
+
+Every traced ``repro report`` run (and every benchmark session) writes a
+``run_manifest.json`` capturing *which inputs produced which artefacts at
+what cost*: the config fingerprint (SHA-256 of the canonical full
+:class:`~repro.synth.config.SimulationConfig` JSON), seed, scale, package
+and Python versions, per-experiment wall times, peak RSS, the tracer's
+counters/gauges and the full span tree.  ``python -m repro trace show
+<manifest>`` renders one back as text.
+
+The reproducibility contract the manifest underwrites: **same
+``config_sha256`` (which covers seed and scale) ⇒ bit-identical
+dataset ⇒ identical artefacts**.  Two manifests whose fingerprints match
+should differ only in timings, RSS and ``created_unix``.  See
+``docs/provenance.md`` for the field-by-field schema.
+
+This module never reads the wall clock (reprolint R002): callers in the
+CLI/benchmark layers pass ``created_unix`` in explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "MANIFEST_NAME",
+    "RunManifest",
+    "write_manifest",
+    "read_manifest",
+]
+
+#: Bump when the JSON schema changes incompatibly.
+MANIFEST_VERSION = 1
+
+#: Default filename when a manifest is written into a directory.
+MANIFEST_NAME = "run_manifest.json"
+
+
+@dataclass
+class RunManifest:
+    """Provenance and telemetry for one run (see module docstring).
+
+    Required fields identify the run (``command``) and its inputs
+    (``config_sha256`` / ``seed`` / ``scale`` / ``package_version``);
+    everything else is optional telemetry filled in by the caller.
+    """
+
+    command: str
+    config_sha256: str
+    seed: int
+    scale: float
+    package_version: str
+    version: int = MANIFEST_VERSION
+    python_version: str = ""
+    created_unix: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    dataset: Dict[str, int] = field(default_factory=dict)
+    experiments: List[Dict[str, Any]] = field(default_factory=list)
+    total_seconds: float = 0.0
+    peak_rss_bytes: Optional[int] = None
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, JSON-ready."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunManifest":
+        """Build a manifest from parsed JSON.
+
+        Unknown keys are ignored (forward compatibility); a missing or
+        newer ``version`` raises ``ValueError`` so stale tooling fails
+        loudly instead of misreading the schema.
+        """
+        version = payload.get("version")
+        if not isinstance(version, int) or version > MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {version!r} "
+                f"(this build reads <= {MANIFEST_VERSION})"
+            )
+        known = {
+            name: payload[name]
+            for name in cls.__dataclass_fields__  # noqa: SLF001 - public API
+            if name in payload
+        }
+        for required in ("command", "config_sha256", "seed", "scale",
+                         "package_version"):
+            if required not in known:
+                raise ValueError(f"manifest missing required field {required!r}")
+        return cls(**known)
+
+
+def write_manifest(manifest: RunManifest, path: str) -> str:
+    """Write ``manifest`` as JSON; returns the file path actually written.
+
+    ``path`` may be a directory (the file becomes
+    ``<path>/run_manifest.json``) or an explicit file path.
+    """
+    target = path
+    if os.path.isdir(path) or path.endswith(os.sep):
+        os.makedirs(path, exist_ok=True)
+        target = os.path.join(path, MANIFEST_NAME)
+    else:
+        parent = os.path.dirname(os.path.abspath(target))
+        os.makedirs(parent, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def read_manifest(path: str) -> RunManifest:
+    """Parse a manifest file written by :func:`write_manifest`.
+
+    ``path`` may also name the directory holding ``run_manifest.json``.
+    Raises ``OSError`` for unreadable files and ``ValueError`` for
+    malformed or incompatible content.
+    """
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_NAME)
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"not a manifest (invalid JSON): {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"not a manifest (expected a JSON object): {path}")
+    return RunManifest.from_dict(payload)

@@ -1,0 +1,155 @@
+"""Text rendering for telemetry: ASCII timing trees and manifests.
+
+The timing tree aggregates same-name sibling spans — the simulator opens
+one ``synth.month`` span per month, and 25 sibling lines would drown the
+signal, so repeats collapse into ``synth.month ×25`` with summed
+durations (children merge recursively the same way).  Percentages are
+relative to the summed root duration, so a line reading ``(62%)`` means
+"62% of everything the tracer saw".
+
+``render_manifest`` is the presentation behind ``python -m repro trace
+show``: the provenance header, per-experiment wall times (slowest
+first), counters, and the timing tree reassembled from the manifest's
+serialized spans.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .manifest import RunManifest
+from .tracer import SpanRecord
+
+__all__ = [
+    "render_timing_tree",
+    "render_counters",
+    "render_manifest",
+]
+
+#: Aggregated node: (name, summed seconds, occurrence count, children).
+_AggNode = Tuple[str, float, int, List["_AggNode"]]  # type: ignore[misc]
+
+
+def _aggregate(records: Sequence[SpanRecord]) -> List[_AggNode]:
+    """Merge same-name siblings, preserving first-appearance order."""
+    order: List[str] = []
+    seconds: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    children: Dict[str, List[SpanRecord]] = {}
+    for record in records:
+        if record.name not in seconds:
+            order.append(record.name)
+            seconds[record.name] = 0.0
+            counts[record.name] = 0
+            children[record.name] = []
+        seconds[record.name] += record.seconds
+        counts[record.name] += 1
+        children[record.name].extend(record.children)
+    return [
+        (name, seconds[name], counts[name], _aggregate(children[name]))
+        for name in order
+    ]
+
+
+def render_timing_tree(roots: Sequence[SpanRecord]) -> List[str]:
+    """Render finished spans as an ASCII tree (one line per phase)."""
+    aggregated = _aggregate(roots)
+    if not aggregated:
+        return ["(no spans recorded)"]
+    grand_total = sum(entry[1] for entry in aggregated)
+    lines: List[str] = []
+
+    def label_of(name: str, seconds: float, count: int) -> str:
+        label = name if count == 1 else f"{name} ×{count}"
+        share = (
+            f"  ({seconds / grand_total * 100.0:.0f}%)" if grand_total > 0 else ""
+        )
+        return f"{label}  {seconds:.3f}s{share}"
+
+    def walk(nodes: List[_AggNode], prefix: str) -> None:
+        for index, (name, seconds, count, kids) in enumerate(nodes):
+            last = index == len(nodes) - 1
+            lines.append(f"{prefix}{'└─ ' if last else '├─ '}"
+                         f"{label_of(name, seconds, count)}")
+            walk(kids, prefix + ("   " if last else "│  "))
+
+    for name, seconds, count, kids in aggregated:
+        lines.append(label_of(name, seconds, count))
+        walk(kids, "")
+    return lines
+
+
+def render_counters(
+    counters: Dict[str, int], gauges: Optional[Dict[str, float]] = None
+) -> List[str]:
+    """Render counters (and gauges) as aligned ``name  value`` lines."""
+    entries: List[Tuple[str, str]] = [
+        (name, f"{value:,}") for name, value in sorted(counters.items())
+    ]
+    entries.extend(
+        (name, f"{value:,.3f}") for name, value in sorted((gauges or {}).items())
+    )
+    if not entries:
+        return ["(no counters recorded)"]
+    width = max(len(name) for name, _ in entries)
+    return [f"{name:<{width}s}  {value}" for name, value in entries]
+
+
+def _stamp(created_unix: Optional[float]) -> str:
+    if created_unix is None:
+        return "(not recorded)"
+    when = _dt.datetime.fromtimestamp(created_unix, tz=_dt.timezone.utc)
+    return when.strftime("%Y-%m-%d %H:%M:%S UTC")
+
+
+def render_manifest(manifest: RunManifest) -> List[str]:
+    """Render a :class:`RunManifest` as the ``trace show`` report."""
+    lines = [
+        f"run manifest (schema v{manifest.version})",
+        f"  command          {manifest.command}",
+        f"  created          {_stamp(manifest.created_unix)}",
+        f"  package          repro {manifest.package_version}"
+        + (f" / python {manifest.python_version}" if manifest.python_version else ""),
+        f"  config sha256    {manifest.config_sha256}",
+        f"  seed / scale     {manifest.seed} / {manifest.scale:g}",
+    ]
+    if manifest.params:
+        rendered = ", ".join(
+            f"{key}={value}" for key, value in sorted(manifest.params.items())
+        )
+        lines.append(f"  params           {rendered}")
+    if manifest.dataset:
+        rendered = ", ".join(
+            f"{key}={value:,}" for key, value in sorted(manifest.dataset.items())
+        )
+        lines.append(f"  dataset          {rendered}")
+    if manifest.peak_rss_bytes is not None:
+        lines.append(
+            f"  peak RSS         {manifest.peak_rss_bytes / (1024 * 1024):,.1f} MiB"
+        )
+    lines.append(f"  total wall time  {manifest.total_seconds:.2f}s")
+
+    if manifest.experiments:
+        lines.append("")
+        lines.append("experiment wall times (slowest first):")
+        ranked = sorted(
+            manifest.experiments,
+            key=lambda entry: -float(entry.get("seconds", 0.0)),
+        )
+        for entry in ranked:
+            lines.append(
+                f"  {str(entry.get('id', '?')):<10s} "
+                f"{float(entry.get('seconds', 0.0)):7.2f}s"
+            )
+
+    lines.append("")
+    lines.append("counters:")
+    lines.extend("  " + line for line in
+                 render_counters(manifest.counters, manifest.gauges))
+
+    lines.append("")
+    lines.append("timing tree:")
+    roots = [SpanRecord.from_dict(entry) for entry in manifest.spans]
+    lines.extend("  " + line for line in render_timing_tree(roots))
+    return lines

@@ -1,0 +1,282 @@
+"""Span/Tracer API: dependency-free run telemetry for the library.
+
+The library is instrumented at *phase* granularity — dataset generation
+months, cache lookups, columnar-store builds, one span per experiment —
+through a process-global tracer reached via :func:`get_tracer`.  Tracing
+is **off by default**: the global starts as a :class:`NullTracer` whose
+``span()`` hands back a shared no-op context manager and whose counter
+methods do nothing, so instrumented library code pays one attribute
+lookup and one trivial call when tracing is disabled.  ``python -m repro
+report --trace`` (or :func:`enable_tracing` from code) swaps in a real
+:class:`Tracer` that records a tree of timed :class:`SpanRecord` nodes
+plus typed counters and gauges.
+
+Clocks are monotonic only (``time.perf_counter``), matching reprolint's
+R002 contract for library code: spans measure durations, never calendar
+time.  Wall-clock stamps for manifests are passed in by the CLI or
+benchmark layers, which are R002-exempt.
+
+Fork-based parallelism is supported by value shipping: a forked worker
+installs a fresh tracer (:func:`set_tracer`), runs its task, then ships
+``Tracer.snapshot()`` — a picklable dict — back to the parent, which
+grafts it into its own tree with :meth:`Tracer.merge_child`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "NullSpan",
+    "NullTracer",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "peak_rss_bytes",
+]
+
+
+class SpanRecord:
+    """One finished span: a name, a duration, and nested child spans."""
+
+    __slots__ = ("name", "seconds", "children")
+
+    def __init__(
+        self,
+        name: str,
+        seconds: float = 0.0,
+        children: Optional[List["SpanRecord"]] = None,
+    ) -> None:
+        self.name = name
+        self.seconds = seconds
+        self.children: List["SpanRecord"] = children if children is not None else []
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON- and pickle-friendly)."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpanRecord":
+        """Invert :meth:`to_dict`."""
+        return cls(
+            name=str(payload["name"]),
+            seconds=float(payload["seconds"]),
+            children=[cls.from_dict(c) for c in payload.get("children", [])],
+        )
+
+    def total_of(self, name: str) -> float:
+        """Summed seconds of every descendant span called ``name``."""
+        total = 0.0
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            if node.name == name:
+                total += node.seconds
+            stack.extend(node.children)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, {self.seconds:.6f}s, "
+            f"{len(self.children)} children)"
+        )
+
+
+class Span:
+    """Context manager produced by :meth:`Tracer.span`.
+
+    Entering pushes a fresh :class:`SpanRecord` onto the tracer's open
+    stack; exiting stamps the monotonic duration and attaches the record
+    to its parent (or to the tracer's roots).  Exceptions propagate —
+    the span still records the time spent before the raise.
+    """
+
+    __slots__ = ("_tracer", "_record", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._record = SpanRecord(name)
+        self._started = 0.0
+
+    def __enter__(self) -> SpanRecord:
+        self._started = time.perf_counter()
+        self._tracer._stack.append(self._record)
+        return self._record
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        record = self._tracer._stack.pop()
+        record.seconds = time.perf_counter() - self._started
+        parent = self._tracer._stack[-1] if self._tracer._stack else None
+        if parent is not None:
+            parent.children.append(record)
+        else:
+            self._tracer.roots.append(record)
+        return False
+
+
+class NullSpan:
+    """Shared no-op span handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+#: The singleton no-op span — allocated once, reused for every call.
+_NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    This is the default process-global tracer, so library code can call
+    ``get_tracer().span(...)`` / ``.count(...)`` unconditionally without
+    paying for telemetry nobody asked for.  Its ``counters`` and
+    ``gauges`` stay empty forever — tests pin that invariant.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.roots: List[SpanRecord] = []
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+
+    def span(self, name: str) -> Any:
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable dump of spans/counters/gauges (empty when disabled)."""
+        return {"spans": [], "counters": {}, "gauges": {}}
+
+    def merge_child(self, payload: Dict[str, Any]) -> None:
+        return None
+
+
+class Tracer(NullTracer):
+    """Recording tracer: a tree of timed spans plus counters and gauges.
+
+    Single-threaded by design (the library's hot paths are either serial
+    or fork-parallel); forked children use their own tracer and ship a
+    :meth:`snapshot` back for :meth:`merge_child`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stack: List[SpanRecord] = []
+
+    def span(self, name: str) -> Span:
+        """Open a timed span; use as ``with tracer.span("phase"):``."""
+        return Span(self, name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the typed counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def current(self) -> Optional[SpanRecord]:
+        """The innermost open span's record, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable dump of the *finished* spans plus counters/gauges."""
+        return {
+            "spans": [record.to_dict() for record in self.roots],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def merge_child(self, payload: Dict[str, Any]) -> None:
+        """Graft a child tracer's :meth:`snapshot` into this tracer.
+
+        Child spans attach under the currently open span (or become
+        roots), counters are summed, and gauges take the child's value
+        (last write wins) — the merge a fork-based experiment pool needs
+        to reassemble one coherent timing tree.
+        """
+        records = [SpanRecord.from_dict(entry) for entry in payload.get("spans", [])]
+        parent = self.current()
+        if parent is not None:
+            parent.children.extend(records)
+        else:
+            self.roots.extend(records)
+        for name, value in payload.get("counters", {}).items():
+            self.count(name, int(value))
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name, float(value))
+
+
+#: Process-global tracer; NullTracer until someone enables tracing.
+_TRACER: NullTracer = NullTracer()
+
+
+def get_tracer() -> NullTracer:
+    """The process-global tracer (a :class:`NullTracer` when disabled)."""
+    return _TRACER
+
+
+def set_tracer(tracer: NullTracer) -> NullTracer:
+    """Install ``tracer`` as the process-global tracer and return it."""
+    global _TRACER
+    _TRACER = tracer
+    return tracer
+
+
+def enable_tracing() -> Tracer:
+    """Install and return a fresh recording :class:`Tracer`."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> NullTracer:
+    """Restore the no-op tracer (returns it)."""
+    return set_tracer(NullTracer())
+
+
+def tracing_enabled() -> bool:
+    """True when the process-global tracer records anything."""
+    return _TRACER.enabled
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process in bytes (None if unknown).
+
+    Uses ``resource.getrusage`` — ``ru_maxrss`` is kilobytes on Linux
+    and bytes on macOS; normalised to bytes here.  Platforms without the
+    ``resource`` module report None.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(peak)
+    return int(peak) * 1024

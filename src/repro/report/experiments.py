@@ -46,6 +46,7 @@ from ..blockchain.verify import verify_high_value_contracts
 from ..core.entities import ContractType
 from ..network.degrees import dataset_degree_distributions, degree_growth
 from ..network.powerlaw import fit_power_law
+from ..obs.tracer import Tracer, get_tracer, set_tracer, tracing_enabled
 from ..synth.marketsim import SimulationResult
 from .figures import render_series, sparkline
 from .tables import format_count_share, format_pct, format_usd, render_table
@@ -841,12 +842,20 @@ def run_experiment(experiment_id: str, ctx: ExperimentContext) -> ExperimentRepo
 
 @dataclass
 class ExperimentRun:
-    """One experiment's output plus its wall-clock cost."""
+    """One experiment's output plus its wall-clock cost.
+
+    ``trace`` carries the child tracer snapshot (spans/counters/gauges,
+    see :meth:`repro.obs.Tracer.snapshot`) when the experiment ran in a
+    forked worker under an enabled tracer; it is ``None`` for serial
+    runs (whose spans land directly on the parent tracer) and whenever
+    tracing is disabled.
+    """
 
     experiment_id: str
     title: str
     lines: List[str]
     seconds: float
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def report(self) -> ExperimentReport:
@@ -863,10 +872,36 @@ def _run_one(experiment_id: str) -> Tuple[str, str, List[str], float]:
 
     ``data`` is deliberately dropped — it can hold arbitrary objects
     (fitted models, graphs) that are expensive or impossible to pickle.
+    The run is wrapped in an ``experiment.<id>`` span; a transient
+    failure is retried once (counted as ``experiment.retries``) before
+    the second error propagates.
     """
+    tracer = get_tracer()
     started = time.perf_counter()
-    report = run_experiment(experiment_id, _WORKER_CTX)
+    with tracer.span(f"experiment.{experiment_id}"):
+        try:
+            report = run_experiment(experiment_id, _WORKER_CTX)
+        except (KeyboardInterrupt, MemoryError):
+            raise
+        except Exception:
+            tracer.count("experiment.retries")
+            report = run_experiment(experiment_id, _WORKER_CTX)
     return (experiment_id, report.title, report.lines, time.perf_counter() - started)
+
+
+def _run_one_forked(experiment_id: str):
+    """Forked-child entry point: isolate telemetry in a fresh tracer.
+
+    A forked worker inherits the parent's enabled tracer copy-on-write,
+    but its mutations never flow back.  Install a fresh :class:`Tracer`,
+    run, and ship the picklable snapshot home as a fifth tuple element
+    for :meth:`Tracer.merge_child`; ``None`` when tracing is disabled.
+    """
+    if tracing_enabled():
+        set_tracer(Tracer())
+        entry = _run_one(experiment_id)
+        return entry + (get_tracer().snapshot(),)
+    return _run_one(experiment_id) + (None,)
 
 
 def run_all_experiments(
@@ -879,27 +914,50 @@ def run_all_experiments(
     ``parallel > 1`` fans independent experiments across a fork-based
     ``ProcessPoolExecutor``: the context (dataset, columnar store, model
     caches) is inherited copy-on-write, and each worker ships back only
-    ``(id, title, lines, seconds)``.  Serial runs share ``ctx``'s model
-    caches across experiments, so per-experiment times after the first
-    latent-model user reflect the cached path.  Results come back in
-    request order either way.
+    ``(id, title, lines, seconds, trace)``.  The on-disk dataset cache
+    (:mod:`repro.synth.cache`) is shared across the forked workers:
+    they inherit the parent's already-loaded dataset, and any
+    ``cached_generate`` call issued inside a worker resolves against the
+    same cache directory the parent warmed — no worker ever regenerates
+    the market.  Serial runs share ``ctx``'s model caches across
+    experiments, so per-experiment times after the first latent-model
+    user reflect the cached path.  Results come back in request order
+    either way.
+
+    When tracing is enabled (:func:`repro.obs.enable_tracing`), each
+    forked worker records onto a fresh tracer and the parent grafts the
+    returned snapshots under its current span via
+    :meth:`~repro.obs.Tracer.merge_child`, so ``experiment.*`` spans
+    appear in the parent's tree for serial and parallel runs alike.
+
+    Example — warm the disk cache once, then fan out::
+
+        from repro.synth.cache import cached_generate
+        result, hit = cached_generate(scale=0.05)   # writes the cache entry
+        ctx = ExperimentContext(result)
+        runs = run_all_experiments(ctx, ["table1", "fig01"], parallel=2)
     """
     wanted = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     unknown = [i for i in wanted if i not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
 
+    tracer = get_tracer()
     global _WORKER_CTX
     _WORKER_CTX = ctx
     try:
         if parallel > 1 and "fork" in multiprocessing.get_all_start_methods():
-            with ProcessPoolExecutor(
-                max_workers=parallel,
-                mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                raw = list(pool.map(_run_one, wanted))
+            with tracer.span("experiments.parallel"):
+                with ProcessPoolExecutor(
+                    max_workers=parallel,
+                    mp_context=multiprocessing.get_context("fork"),
+                ) as pool:
+                    raw = list(pool.map(_run_one_forked, wanted))
+                for entry in raw:
+                    if entry[4] is not None:
+                        tracer.merge_child(entry[4])
         else:
-            raw = [_run_one(experiment_id) for experiment_id in wanted]
+            raw = [_run_one(experiment_id) + (None,) for experiment_id in wanted]
     finally:
         _WORKER_CTX = None
     return [ExperimentRun(*entry) for entry in raw]

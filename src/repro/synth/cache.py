@@ -46,6 +46,7 @@ from ..core.entities import (
     User,
     Visibility,
 )
+from ..obs.tracer import get_tracer
 from .config import DEFAULT_CONFIG, SimulationConfig
 from .marketsim import MarketSimulator, SimulationResult, SimulationTruth
 
@@ -325,11 +326,16 @@ def cached_generate(
     cached result carries an empty :class:`SimulationTruth` — analyses
     never read truth, only calibration tests do, and those generate fresh.
     """
+    tracer = get_tracer()
     config = SimulationConfig(scale=scale, seed=seed, **overrides)
     if not refresh:
-        cached = load_result(config, cache_dir)
+        with tracer.span("cache.lookup"):
+            cached = load_result(config, cache_dir)
         if cached is not None:
+            tracer.count("cache.hits")
             return cached, True
+    tracer.count("cache.misses")
     result = MarketSimulator(config).run()
-    save_result(result, cache_dir)
+    with tracer.span("cache.save"):
+        save_result(result, cache_dir)
     return result, False

@@ -46,6 +46,7 @@ from ..core.entities import (
 )
 from ..core.eras import ERAS, all_months, era_of
 from ..core.timeutils import Month
+from ..obs.tracer import get_tracer
 from . import config as cfg
 from .config import SimulationConfig, interpolate_curve
 from .obligations import ObligationGenerator, ObligationSpec
@@ -143,28 +144,40 @@ class MarketSimulator:
             "simulating market: scale=%.3g seed=%d (%d months)",
             self.config.scale, self.config.seed, len(self._months),
         )
-        for month_index, month in enumerate(self._months):
-            self._population.begin_month(month_index)
-            self._month_stats = {}
-            era_index, era_fraction = self._era_position(month)
-            self._simulate_month(month_index, month, era_index, era_fraction)
-            self._emit_reputation_votes(month)
-            if month_index % 6 == 0:
-                logger.debug(
-                    "month %s done: %d contracts so far", month, len(self._contracts)
-                )
-            if self.config.generate_posts:
-                self._emit_posts(month)
-        dataset = MarketDataset(
-            users=self._population.users,
-            contracts=self._contracts,
-            threads=self._threads,
-            posts=self._posts,
-            ratings=self._ratings,
-        )
-        self.truth.user_class = {
-            u.user_id: u.latent_class for u in self._population.users
-        }
+        tracer = get_tracer()
+        with tracer.span("synth.generate"):
+            for month_index, month in enumerate(self._months):
+                with tracer.span("synth.month"):
+                    self._population.begin_month(month_index)
+                    self._month_stats = {}
+                    era_index, era_fraction = self._era_position(month)
+                    with tracer.span("synth.contracts"):
+                        self._simulate_month(
+                            month_index, month, era_index, era_fraction
+                        )
+                    with tracer.span("synth.reputation"):
+                        self._emit_reputation_votes(month)
+                    if month_index % 6 == 0:
+                        logger.debug(
+                            "month %s done: %d contracts so far",
+                            month, len(self._contracts),
+                        )
+                    if self.config.generate_posts:
+                        with tracer.span("synth.posts"):
+                            self._emit_posts(month)
+            dataset = MarketDataset(
+                users=self._population.users,
+                contracts=self._contracts,
+                threads=self._threads,
+                posts=self._posts,
+                ratings=self._ratings,
+            )
+            self.truth.user_class = {
+                u.user_id: u.latent_class for u in self._population.users
+            }
+        tracer.count("synth.contracts.generated", len(self._contracts))
+        tracer.count("synth.users.created", len(self._population.users))
+        tracer.count("synth.posts.generated", len(self._posts))
         logger.info(
             "simulated %d contracts, %d users, %d threads, %d posts",
             len(self._contracts), len(self._population.users),

@@ -30,9 +30,19 @@ def rule_ids(findings):
     return sorted({f.rule for f in findings})
 
 
-def lint_one(code, path=SRC, **extra):
+def lint_one(code, path=SRC, docstring=True, **extra):
+    """Lint an in-memory fixture tree.
+
+    Unless ``docstring=False``, a module docstring is prepended to every
+    ``src/`` fixture so rule tests don't all trip R007 incidentally.
+    """
     files = {path: code}
     files.update(extra)
+    if docstring:
+        files = {
+            p: ('"""Fixture module."""\n' + c) if p.startswith("src/") else c
+            for p, c in files.items()
+        }
     return lint_sources(files)
 
 
@@ -321,14 +331,44 @@ class TestFloatEquality:
 
 
 # --------------------------------------------------------------------- #
+# R007 undocumented-public-module
+# --------------------------------------------------------------------- #
+
+
+class TestUndocumentedPublicModule:
+    def test_flags_docstringless_module(self):
+        findings = lint_one("VALUE = 1\n", docstring=False)
+        assert rule_ids(findings) == ["R007"]
+        assert "docstring" in findings[0].message
+
+    def test_docstring_satisfies(self):
+        findings = lint_one('"""A documented module."""\nVALUE = 1\n',
+                            docstring=False)
+        assert findings == []
+
+    def test_tests_are_out_of_scope(self):
+        findings = lint_one(
+            "def test_nothing():\n    assert True\n",
+            path=TESTS, docstring=False,
+        )
+        assert findings == []
+
+    def test_benchmarks_are_out_of_scope(self):
+        findings = lint_one(
+            "VALUE = 1\n", path="benchmarks/bench_thing.py", docstring=False
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
 # registry and explain
 # --------------------------------------------------------------------- #
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert sorted(RULES) == [
-            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
         ]
 
     def test_every_rule_documented(self):
@@ -367,23 +407,28 @@ class TestSelfRun:
 # CLI contract
 # --------------------------------------------------------------------- #
 
+DOC = '"""Fixture module."""\n'
+
 VIOLATIONS = {
-    "R001": ("src/repro/v1.py", "import numpy as np\nx = np.random.rand(3)\n"),
-    "R002": ("src/repro/v2.py", "import time\nstamp = time.time()\n"),
-    "R003": ("src/repro/v3.py", "def profile(ds, fast=True):\n    return fast\n"),
+    "R001": ("src/repro/v1.py",
+             DOC + "import numpy as np\nx = np.random.rand(3)\n"),
+    "R002": ("src/repro/v2.py", DOC + "import time\nstamp = time.time()\n"),
+    "R003": ("src/repro/v3.py",
+             DOC + "def profile(ds, fast=True):\n    return fast\n"),
     "R004": (
         "src/repro/v4.py",
-        "def tally_columnar(ds):\n"
-        "    return sum(1 for c in ds.contracts)\n",
+        DOC + "def tally_columnar(ds):\n"
+              "    return sum(1 for c in ds.contracts)\n",
     ),
     "R005": (
         "src/repro/v5.py",
-        "from repro.core.timeutils import Month\nJUMP = Month(2019, 3)\n",
+        DOC + "from repro.core.timeutils import Month\nJUMP = Month(2019, 3)\n",
     ),
     "R006": (
         "tests/test_v6.py",
         "def test_value(v):\n    assert v == 0.435\n",
     ),
+    "R007": ("src/repro/v7.py", "VALUE = 1\n"),
 }
 
 
@@ -396,7 +441,7 @@ def make_tree(tmp_path, files):
 
 class TestCli:
     def test_clean_tree_exits_zero(self, tmp_path, capsys):
-        make_tree(tmp_path, {"src/repro/ok.py": "VALUE = 1\n"})
+        make_tree(tmp_path, {"src/repro/ok.py": DOC + "VALUE = 1\n"})
         assert main(["lint", "--root", str(tmp_path)]) == 0
         assert "clean" in capsys.readouterr().out
 
@@ -423,7 +468,7 @@ class TestCli:
         )
 
     def test_json_clean_tree(self, tmp_path, capsys):
-        make_tree(tmp_path, {"src/repro/ok.py": "VALUE = 1\n"})
+        make_tree(tmp_path, {"src/repro/ok.py": DOC + "VALUE = 1\n"})
         assert main(
             ["lint", "--root", str(tmp_path), "--format", "json"]
         ) == 0
@@ -441,7 +486,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "suppressed by baseline" in out
         # A *new* violation still fails even with the old one baselined.
-        make_tree(tmp_path, {"src/repro/fresh.py": "import time\nt = time.time()\n"})
+        make_tree(tmp_path, {"src/repro/fresh.py": DOC + "import time\nt = time.time()\n"})
         assert main(["lint", "--root", str(tmp_path)]) == 1
 
     def test_save_and_load_baseline_round_trip(self, tmp_path):
@@ -482,7 +527,7 @@ class TestCli:
     def test_explicit_paths_restrict_sweep(self, tmp_path, capsys):
         make_tree(tmp_path, {
             "src/repro/v1.py": VIOLATIONS["R001"][1],
-            "src/repro/ok.py": "VALUE = 1\n",
+            "src/repro/ok.py": DOC + "VALUE = 1\n",
         })
         assert main(["lint", "--root", str(tmp_path),
                      "src/repro/ok.py"]) == 0
