@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint docscheck typecheck bench bench-smoke reproduce reproduce-full clean
+.PHONY: install test test-faults lint docscheck typecheck bench bench-smoke reproduce reproduce-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Robustness suite: atomic publication, quarantine, locks, retries and
+# the fault-injection acceptance scenarios (see docs/robustness.md).
+test-faults:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m pytest \
+		tests/test_robust.py tests/test_cache_robust.py tests/test_faults.py -q
 
 # Project-specific invariant checks (reprolint) plus mypy when installed.
 # `pip install -e .[lint]` pulls mypy in; without it only reprolint runs.

@@ -84,6 +84,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "timing tree, and write run_manifest.json next "
                              "to the artefacts (--out, else the current "
                              "directory)")
+    report.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="re-attempts per experiment before it degrades "
+                             "to a recorded failure (default: 1)")
+    report.add_argument("--retry-backoff", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="pause before the first retry, doubled for each "
+                             "further one (default: 0)")
+    report.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-experiment time limit; a timed-out "
+                             "experiment is marked failed and not retried "
+                             "(default: none)")
+    report.add_argument("--strict", action="store_true",
+                        help="exit non-zero when any experiment failed "
+                             "(without this flag failures are reported in "
+                             "the output and manifest but the run exits 0)")
 
     summary = commands.add_parser("summary", help="print a dataset overview")
     _market_args(summary)
@@ -264,8 +280,17 @@ def _cmd_report(args) -> int:
         file=sys.stderr,
     )
 
+    from .robust import RetryPolicy
+
+    policy = RetryPolicy(
+        max_retries=max(0, args.retries),
+        backoff_seconds=max(0.0, args.retry_backoff),
+        timeout_seconds=args.timeout,
+    )
     ctx = ExperimentContext(result, latent_k=args.latent_k)
-    runs = run_all_experiments(ctx, wanted, parallel=max(1, args.parallel))
+    runs = run_all_experiments(
+        ctx, wanted, parallel=max(1, args.parallel), policy=policy
+    )
     if args.out:
         os.makedirs(args.out, exist_ok=True)
     for run in runs:
@@ -277,12 +302,27 @@ def _cmd_report(args) -> int:
                 handle.write(run.report.text() + "\n")
     print("experiment wall times:", file=sys.stderr)
     for run in runs:
-        print(f"  {run.experiment_id:<10s} {run.seconds:7.2f}s", file=sys.stderr)
+        marker = "" if run.ok else "  FAILED"
+        print(f"  {run.experiment_id:<10s} {run.seconds:7.2f}s{marker}",
+              file=sys.stderr)
     print(
         f"  {'total':<10s} {sum(r.seconds for r in runs):7.2f}s "
         f"({len(runs)} experiments, parallel={max(1, args.parallel)})",
         file=sys.stderr,
     )
+    failed = [run for run in runs if not run.ok]
+    if failed:
+        print(
+            f"{len(failed)} of {len(runs)} experiments failed:",
+            file=sys.stderr,
+        )
+        for run in failed:
+            print(
+                f"  {run.experiment_id}: {run.error['type']}: "
+                f"{run.error['message']} "
+                f"(after {run.error['attempts']} attempts)",
+                file=sys.stderr,
+            )
 
     if tracer is not None:
         import platform
@@ -313,7 +353,10 @@ def _cmd_report(args) -> int:
             },
             dataset=result.dataset.summary(),
             experiments=[
-                {"id": run.experiment_id, "seconds": run.seconds} for run in runs
+                {"id": run.experiment_id, "seconds": run.seconds,
+                 "attempts": run.attempts,
+                 **({"error": run.error} if run.error else {})}
+                for run in runs
             ],
             total_seconds=time.time() - run_started_unix,
             peak_rss_bytes=peak_rss_bytes(),
@@ -330,6 +373,8 @@ def _cmd_report(args) -> int:
         for line in render_counters(tracer.counters, tracer.gauges):
             print("  " + line, file=sys.stderr)
         print(f"manifest: {manifest_path}", file=sys.stderr)
+    if failed and args.strict:
+        return 1
     return 0
 
 
@@ -412,6 +457,12 @@ def _cmd_lint(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if os.environ.get("REPRO_FAULTS"):
+        # Deterministic fault injection (tests / make test-faults only):
+        # arm the directives before any command touches cache or runner.
+        from .devtools.faults import arm_from_env
+
+        arm_from_env()
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,

@@ -15,7 +15,10 @@ The rules encode invariants specific to this reproduction:
 * fast/object parity — every vectorized ``fast=`` kernel must keep a
   parity test against its object-path reference;
 * era hygiene — the externally-defined era boundaries (1 Jun 2018 /
-  1 Mar 2019 / 11 Mar 2020) live only in :mod:`repro.core.eras`.
+  1 Mar 2019 / 11 Mar 2020) live only in :mod:`repro.core.eras`;
+* failure hygiene — catch-all exception handlers in library code must
+  carry a written ``# robust:`` justification (R008) so degradation
+  boundaries are deliberate, not accidental swallowing.
 """
 
 from __future__ import annotations
@@ -540,6 +543,84 @@ class UndocumentedPublicModule(Rule):
             )
 
 
+# --------------------------------------------------------------------- #
+# R008 broad-except-unjustified
+# --------------------------------------------------------------------- #
+
+
+class BroadExceptUnjustified(Rule):
+    """R008 broad-except-unjustified: catch-all handlers in library code
+    need a written justification.
+
+    A bare ``except:``, ``except Exception:`` or ``except
+    BaseException:`` swallows everything — including the corruption and
+    injected-fault signals the robustness layer
+    (:mod:`repro.robust`) depends on surfacing.  The 2020-era cache bug
+    this repo's fault harness reproduces hid behind exactly such a
+    handler.  Catch-alls are still legitimate at *degradation
+    boundaries* (the runner converting a failed experiment into a
+    structured error record instead of dying), so the rule does not ban
+    them: it requires a ``# robust:`` comment on the ``except`` line or
+    the line directly above, stating why swallowing everything is the
+    right behaviour there.  Handlers naming specific exception types
+    (even long tuples of them) are always fine.
+    """
+
+    id = "R008"
+    name = "broad-except-unjustified"
+    scope = ("src",)
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, type_node: Optional[ast.AST]) -> bool:
+        if type_node is None:  # bare `except:`
+            return True
+        nodes = (
+            list(type_node.elts)
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        return any(_dotted(node)[-1:] in (("Exception",), ("BaseException",))
+                   for node in nodes)
+
+    def _justified(self, source, handler: ast.excepthandler) -> bool:  # noqa: ANN001
+        lines = source.text.splitlines()
+        for lineno in (handler.lineno, handler.lineno - 1):
+            if 1 <= lineno <= len(lines) and "# robust:" in lines[lineno - 1]:
+                return True
+        return False
+
+    def visit(self, source):  # noqa: ANN001
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._justified(source, node):
+                continue
+            shown = (
+                "bare `except:`"
+                if node.type is None
+                else "broad `except " + (
+                    "/".join(
+                        ".".join(_dotted(n)) or "..."
+                        for n in (
+                            node.type.elts
+                            if isinstance(node.type, ast.Tuple)
+                            else [node.type]
+                        )
+                    )
+                ) + "`"
+            )
+            yield self.finding(
+                source, node,
+                f"{shown} without justification — add a `# robust:` "
+                f"comment on the handler (or the line above) explaining "
+                f"why a catch-all is correct here, or name the specific "
+                f"exceptions",
+            )
+
+
 #: Rule registry in id order; ``repro lint --list-rules`` renders it.
 RULES: Dict[str, type] = {
     rule.id: rule
@@ -551,6 +632,7 @@ RULES: Dict[str, type] = {
         EraLiteral,
         FloatEquality,
         UndocumentedPublicModule,
+        BroadExceptUnjustified,
     )
 }
 

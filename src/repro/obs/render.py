@@ -138,10 +138,17 @@ def render_manifest(manifest: RunManifest) -> List[str]:
             key=lambda entry: -float(entry.get("seconds", 0.0)),
         )
         for entry in ranked:
-            lines.append(
+            line = (
                 f"  {str(entry.get('id', '?')):<10s} "
                 f"{float(entry.get('seconds', 0.0)):7.2f}s"
             )
+            error = entry.get("error")
+            if error:
+                line += (
+                    f"  FAILED after {error.get('attempts', '?')} attempt(s): "
+                    f"{error.get('type', '?')}: {error.get('message', '')}"
+                )
+            lines.append(line)
 
     lines.append("")
     lines.append("counters:")

@@ -12,6 +12,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +48,7 @@ from ..core.entities import ContractType
 from ..network.degrees import dataset_degree_distributions, degree_growth
 from ..network.powerlaw import fit_power_law
 from ..obs.tracer import Tracer, get_tracer, set_tracer, tracing_enabled
+from ..robust.retry import RetryPolicy, run_with_policy
 from ..synth.marketsim import SimulationResult
 from .figures import render_series, sparkline
 from .tables import format_count_share, format_pct, format_usd, render_table
@@ -842,13 +844,20 @@ def run_experiment(experiment_id: str, ctx: ExperimentContext) -> ExperimentRepo
 
 @dataclass
 class ExperimentRun:
-    """One experiment's output plus its wall-clock cost.
+    """One experiment's output plus its wall-clock cost and fate.
 
     ``trace`` carries the child tracer snapshot (spans/counters/gauges,
     see :meth:`repro.obs.Tracer.snapshot`) when the experiment ran in a
     forked worker under an enabled tracer; it is ``None`` for serial
     runs (whose spans land directly on the parent tracer) and whenever
     tracing is disabled.
+
+    ``error`` is ``None`` for a successful run.  A failed experiment
+    does **not** abort the batch: it comes back with ``error`` holding
+    a picklable payload (``type``/``message``/``traceback``/``attempts``
+    /``failures``) and placeholder ``lines``, and the manifest records
+    the same payload.  ``attempts`` counts executions including
+    retries (1 = succeeded first try).
     """
 
     experiment_id: str
@@ -856,6 +865,12 @@ class ExperimentRun:
     lines: List[str]
     seconds: float
     trace: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def report(self) -> ExperimentReport:
@@ -866,48 +881,85 @@ class ExperimentRun:
 #: immediately before the pool is created, cleared after).
 _WORKER_CTX: Optional[ExperimentContext] = None
 
+#: Retry policy shared with forked workers, same lifecycle as the ctx.
+_WORKER_POLICY: Optional[RetryPolicy] = None
 
-def _run_one(experiment_id: str) -> Tuple[str, str, List[str], float]:
-    """Worker entry point: returns a picklable (id, title, lines, seconds).
+
+def _run_one(experiment_id: str) -> ExperimentRun:
+    """Worker entry point: returns a picklable :class:`ExperimentRun`.
 
     ``data`` is deliberately dropped — it can hold arbitrary objects
     (fitted models, graphs) that are expensive or impossible to pickle.
-    The run is wrapped in an ``experiment.<id>`` span; a transient
-    failure is retried once (counted as ``experiment.retries``) before
-    the second error propagates.
+    The run is wrapped in an ``experiment.<id>`` span and guarded by the
+    batch :class:`~repro.robust.RetryPolicy`.
+
+    Counter semantics (the registry is deterministic under a fixed
+    seed, so these measure *environmental* trouble, not logic bugs):
+
+    * ``experiment.failures`` — attempts that raised, whether or not a
+      later attempt succeeded;
+    * ``experiment.retries`` — re-attempts launched (attempts beyond
+      the first), regardless of how they ended;
+    * ``experiment.failed`` — experiments whose budget was exhausted
+      and which degraded to an error payload.
     """
     tracer = get_tracer()
+    policy = _WORKER_POLICY if _WORKER_POLICY is not None else RetryPolicy()
     started = time.perf_counter()
     with tracer.span(f"experiment.{experiment_id}"):
-        try:
-            report = run_experiment(experiment_id, _WORKER_CTX)
-        except (KeyboardInterrupt, MemoryError):
-            raise
-        except Exception:
-            tracer.count("experiment.retries")
-            report = run_experiment(experiment_id, _WORKER_CTX)
-    return (experiment_id, report.title, report.lines, time.perf_counter() - started)
+        outcome = run_with_policy(
+            lambda: run_experiment(experiment_id, _WORKER_CTX),
+            policy,
+            on_failure=lambda exc, attempt: tracer.count("experiment.failures"),
+        )
+    seconds = time.perf_counter() - started
+    if outcome.retries:
+        tracer.count("experiment.retries", outcome.retries)
+    if outcome.ok:
+        report = outcome.value
+        return ExperimentRun(
+            experiment_id, report.title, report.lines, seconds,
+            attempts=outcome.attempts,
+        )
+    tracer.count("experiment.failed")
+    error = {
+        "type": type(outcome.error).__name__,
+        "message": str(outcome.error),
+        "traceback": outcome.traceback_text,
+        "attempts": outcome.attempts,
+        "failures": outcome.failures,
+    }
+    lines = [
+        f"FAILED after {outcome.attempts} attempt(s): "
+        f"{error['type']}: {error['message']}"
+    ]
+    return ExperimentRun(
+        experiment_id, f"{experiment_id}: FAILED", lines, seconds,
+        error=error, attempts=outcome.attempts,
+    )
 
 
-def _run_one_forked(experiment_id: str):
+def _run_one_forked(experiment_id: str) -> ExperimentRun:
     """Forked-child entry point: isolate telemetry in a fresh tracer.
 
     A forked worker inherits the parent's enabled tracer copy-on-write,
     but its mutations never flow back.  Install a fresh :class:`Tracer`,
-    run, and ship the picklable snapshot home as a fifth tuple element
-    for :meth:`Tracer.merge_child`; ``None`` when tracing is disabled.
+    run, and ship the picklable snapshot home on ``run.trace`` for
+    :meth:`Tracer.merge_child`; ``None`` when tracing is disabled.
     """
     if tracing_enabled():
         set_tracer(Tracer())
-        entry = _run_one(experiment_id)
-        return entry + (get_tracer().snapshot(),)
-    return _run_one(experiment_id) + (None,)
+        run = _run_one(experiment_id)
+        run.trace = get_tracer().snapshot()
+        return run
+    return _run_one(experiment_id)
 
 
 def run_all_experiments(
     ctx: ExperimentContext,
     experiment_ids: Optional[Sequence[str]] = None,
     parallel: int = 1,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[ExperimentRun]:
     """Run a set of experiments (default: all), optionally in parallel.
 
@@ -930,6 +982,15 @@ def run_all_experiments(
     :meth:`~repro.obs.Tracer.merge_child`, so ``experiment.*`` spans
     appear in the parent's tree for serial and parallel runs alike.
 
+    Fault tolerance: each experiment runs under ``policy`` (default
+    :class:`~repro.robust.RetryPolicy`: one retry, no backoff, no
+    timeout).  An experiment that exhausts its budget degrades to an
+    :class:`ExperimentRun` whose ``error`` payload carries the final
+    exception — the remaining experiments still run and results still
+    come back complete and in request order.  If the fork pool itself
+    dies (a worker killed by the OS), the batch falls back to a serial
+    rerun, counted as ``experiments.pool_broken``.
+
     Example — warm the disk cache once, then fan out::
 
         from repro.synth.cache import cached_generate
@@ -943,21 +1004,27 @@ def run_all_experiments(
         raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
 
     tracer = get_tracer()
-    global _WORKER_CTX
+    global _WORKER_CTX, _WORKER_POLICY
     _WORKER_CTX = ctx
+    _WORKER_POLICY = policy
     try:
         if parallel > 1 and "fork" in multiprocessing.get_all_start_methods():
             with tracer.span("experiments.parallel"):
-                with ProcessPoolExecutor(
-                    max_workers=parallel,
-                    mp_context=multiprocessing.get_context("fork"),
-                ) as pool:
-                    raw = list(pool.map(_run_one_forked, wanted))
-                for entry in raw:
-                    if entry[4] is not None:
-                        tracer.merge_child(entry[4])
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=parallel,
+                        mp_context=multiprocessing.get_context("fork"),
+                    ) as pool:
+                        runs = list(pool.map(_run_one_forked, wanted))
+                except BrokenProcessPool:
+                    tracer.count("experiments.pool_broken")
+                    runs = [_run_one(experiment_id) for experiment_id in wanted]
+                for run in runs:
+                    if run.trace is not None:
+                        tracer.merge_child(run.trace)
         else:
-            raw = [_run_one(experiment_id) + (None,) for experiment_id in wanted]
+            runs = [_run_one(experiment_id) for experiment_id in wanted]
     finally:
         _WORKER_CTX = None
-    return [ExperimentRun(*entry) for entry in raw]
+        _WORKER_POLICY = None
+    return runs

@@ -1,0 +1,82 @@
+"""Named crash points: deterministic fault-injection seams.
+
+A *crash point* is a named no-op call placed at an interesting moment
+inside library code — for example between staging a cache entry and
+publishing it.  Production runs pay one dict lookup on an empty dict.
+The fault harness (:mod:`repro.devtools.faults`) *arms* a point so that
+its N-th execution raises :class:`InjectedCrash`, which lets tests
+prove crash-safety claims ("a crash before publish leaves the old
+entry intact") without monkeypatching internals.
+
+Arming is process-local state; fork-based workers inherit armed points
+copy-on-write, so a point armed before a pool is created fires inside
+the children too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = [
+    "InjectedCrash",
+    "crash_point",
+    "arm_crash_point",
+    "disarm_crash_point",
+    "disarm_all_crash_points",
+    "armed_crash_points",
+]
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by an armed crash point; never seen in production runs."""
+
+
+class _CrashSpec:
+    __slots__ = ("at_call", "calls", "exception")
+
+    def __init__(self, at_call: int, exception: Optional[BaseException]) -> None:
+        self.at_call = at_call
+        self.calls = 0
+        self.exception = exception
+
+
+#: Armed points; empty in production, so crash_point() is near-free.
+_ARMED: Dict[str, _CrashSpec] = {}
+
+
+def crash_point(name: str) -> None:
+    """No-op unless ``name`` is armed; then raises on its N-th execution."""
+    if not _ARMED:
+        return
+    spec = _ARMED.get(name)
+    if spec is None:
+        return
+    spec.calls += 1
+    if spec.calls == spec.at_call:
+        raise spec.exception or InjectedCrash(
+            f"injected crash at {name!r} (call {spec.calls})"
+        )
+
+
+def arm_crash_point(
+    name: str, at_call: int = 1, exception: Optional[BaseException] = None
+) -> None:
+    """Make ``crash_point(name)`` raise on its ``at_call``-th execution."""
+    if at_call < 1:
+        raise ValueError("at_call must be >= 1")
+    _ARMED[name] = _CrashSpec(at_call, exception)
+
+
+def disarm_crash_point(name: str) -> None:
+    """Remove one armed point (missing names are ignored)."""
+    _ARMED.pop(name, None)
+
+
+def disarm_all_crash_points() -> None:
+    """Return to the production state: no armed points."""
+    _ARMED.clear()
+
+
+def armed_crash_points() -> Dict[str, int]:
+    """Mapping of armed point name -> 1-based call index it fires at."""
+    return {name: spec.at_call for name, spec in _ARMED.items()}

@@ -1,0 +1,123 @@
+"""Advisory cross-process file locks.
+
+``cached_generate`` uses one of these so that two processes asked for
+the same configuration generate the dataset once: the first holder
+generates and publishes, the second waits, re-checks the cache and gets
+a hit.  The lock is *advisory* — it coordinates cooperating ``repro``
+processes; it does not protect against arbitrary external writers (the
+atomic publication protocol in :mod:`repro.robust.atomic` does that).
+
+On POSIX the lock is ``fcntl.flock`` on a dedicated ``*.lock`` file,
+which the kernel releases automatically when the holder dies — no stale
+locks.  Where ``fcntl`` is unavailable the fallback is an exclusive
+``O_CREAT | O_EXCL`` sentinel file: weaker (a dead holder leaves the
+sentinel behind until the acquire times out), but the protected
+operation is idempotent — both processes would publish identical
+entries — so the worst case is duplicate work, never corruption.
+Callers are expected to pass a finite ``timeout`` and fall back to
+unlocked (still atomic) publication on :class:`LockTimeout`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["LockTimeout", "FileLock"]
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a lock cannot be acquired within the timeout."""
+
+
+class FileLock:
+    """An advisory exclusive lock on ``path`` (created if missing).
+
+    ``timeout=None`` blocks indefinitely; ``timeout=0`` is a single
+    non-blocking attempt.  Use as a context manager, or call
+    :meth:`acquire` / :meth:`release` explicitly (e.g. to release before
+    returning a cached result).  Deadlines use the monotonic clock.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        timeout: Optional[float] = None,
+        poll_seconds: float = 0.05,
+    ) -> None:
+        self.path = path
+        self.timeout = timeout
+        self.poll_seconds = poll_seconds
+        self._fd: Optional[int] = None
+        self._sentinel = False
+
+    @property
+    def locked(self) -> bool:
+        return self._fd is not None or self._sentinel
+
+    def acquire(self) -> "FileLock":
+        if self.locked:
+            return self
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        while True:
+            if self._try_acquire():
+                return self
+            if deadline is not None and time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path!r} within "
+                    f"{self.timeout:g}s"
+                )
+            time.sleep(self.poll_seconds)
+
+    def release(self) -> None:
+        if self._fd is not None:
+            fd, self._fd = self._fd, None
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        elif self._sentinel:
+            self._sentinel = False
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.release()
+        return False
+
+    # ----------------------------------------------------------------- #
+
+    def _try_acquire(self) -> bool:
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                return False
+            self._fd = fd
+            return True
+        return self._try_acquire_sentinel()
+
+    def _try_acquire_sentinel(self) -> bool:  # pragma: no cover - non-POSIX
+        try:
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        os.close(fd)
+        self._sentinel = True
+        return True

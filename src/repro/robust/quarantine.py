@@ -1,0 +1,60 @@
+"""Quarantine for corrupt cache entries.
+
+A corrupt entry (torn write from an older version, bit rot, a truncated
+download of a shared cache) must become a *cache miss*, not a crash —
+but silently deleting the evidence would make corruption impossible to
+diagnose.  :func:`quarantine_dir` renames the entry to
+``<entry>.corrupt-<n>`` (first free ``n`` from 1), bumps the
+``cache.corrupt`` tracer counter, and leaves regeneration to the normal
+miss path.  Quarantined directories are never read or reaped by the
+library; operators inspect or delete them by hand.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import List, Optional
+
+from ..obs.tracer import get_tracer
+
+__all__ = ["quarantine_dir", "quarantined_siblings"]
+
+
+def quarantine_dir(entry: str, counter: str = "cache.corrupt") -> Optional[str]:
+    """Move ``entry`` to the first free ``<entry>.corrupt-<n>`` sibling.
+
+    Returns the quarantine path, or ``None`` when ``entry`` no longer
+    exists (e.g. another process already quarantined it).  ``counter``
+    is bumped on the process tracer for every successful quarantine.
+    """
+    if not os.path.isdir(entry):
+        return None
+    n, rename_failures = 1, 0
+    while True:
+        candidate = f"{entry}.corrupt-{n}"
+        if not os.path.exists(candidate):
+            try:
+                os.replace(entry, candidate)
+            except OSError:
+                if not os.path.isdir(entry):
+                    return None  # lost a quarantine race; entry is gone
+                rename_failures += 1
+                if rename_failures >= 8:
+                    return None  # persistent rename failure (permissions?)
+                n += 1
+                continue
+            get_tracer().count(counter)
+            return candidate
+        n += 1
+
+
+def quarantined_siblings(entry: str) -> List[str]:
+    """All ``<entry>.corrupt-<n>`` paths, sorted by quarantine order."""
+    found = glob.glob(glob.escape(entry) + ".corrupt-*")
+
+    def _index(path: str) -> int:
+        suffix = path.rsplit("-", 1)[-1]
+        return int(suffix) if suffix.isdigit() else 0
+
+    return sorted(found, key=_index)

@@ -1,0 +1,132 @@
+"""Retry policies and the structured outcome of a guarded call.
+
+The experiment registry is deterministic under a fixed seed, so a retry
+never fixes a *logic* error — it exists for environmental failures
+(memory pressure in a sibling process, a filesystem hiccup, an injected
+fault in tests).  :class:`RetryPolicy` makes that explicit and bounded:
+a fixed number of re-attempts, exponential backoff between them, and an
+optional per-attempt time limit.  :func:`run_with_policy` never lets a
+non-fatal exception escape — the caller inspects the returned
+:class:`RetryOutcome` and decides how to degrade, which is what lets
+``run_all_experiments`` finish 27 experiments when the 28th keeps
+failing.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+from .timeout import TimeoutExceeded, time_limit
+
+__all__ = ["FATAL_EXCEPTIONS", "RetryPolicy", "RetryOutcome", "run_with_policy"]
+
+#: Exceptions that always propagate: retrying cannot help and masking
+#: them would hide an operator interrupt or a dying process.
+FATAL_EXCEPTIONS: Tuple[type, ...] = (KeyboardInterrupt, SystemExit, MemoryError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-attempt a call, and how patiently.
+
+    ``max_retries`` counts *re*-attempts: ``max_retries=1`` means at
+    most two executions.  ``backoff_seconds`` is the pause before the
+    first retry, multiplied by ``backoff_factor`` for each further one.
+    ``timeout_seconds`` bounds each individual attempt via
+    :func:`repro.robust.timeout.time_limit`; a timed-out attempt is
+    **not** retried — the work is deterministic, so it would only time
+    out again.
+    """
+
+    max_retries: int = 1
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+
+    def delays(self) -> Iterator[float]:
+        """The pause before each retry, in order."""
+        delay = self.backoff_seconds
+        for _ in range(self.max_retries):
+            yield delay
+            delay *= self.backoff_factor
+
+
+@dataclass
+class RetryOutcome:
+    """What happened across all attempts of one guarded call.
+
+    ``attempts`` counts executions (>= 1); ``failures`` counts the
+    attempts that raised.  On success ``value`` holds the result and
+    ``error`` is ``None``; on exhaustion ``error`` holds the last
+    exception and ``traceback_text`` its formatted traceback.
+    """
+
+    value: Any = None
+    attempts: int = 0
+    failures: int = 0
+    error: Optional[BaseException] = None
+    traceback_text: str = ""
+    delays_slept: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def retries(self) -> int:
+        """Re-attempts launched (attempts beyond the first)."""
+        return max(0, self.attempts - 1)
+
+
+def run_with_policy(
+    func: Callable[[], Any],
+    policy: RetryPolicy,
+    on_failure: Optional[Callable[[BaseException, int], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> RetryOutcome:
+    """Run ``func`` under ``policy``; degrade instead of raising.
+
+    Fatal exceptions (:data:`FATAL_EXCEPTIONS`) always propagate.  Any
+    other exception marks the attempt failed, invokes ``on_failure(exc,
+    attempt_number)`` and — budget permitting — sleeps the next backoff
+    delay and retries.  :class:`TimeoutExceeded` is recorded but never
+    retried (see :class:`RetryPolicy`).  The ``sleep`` seam exists for
+    tests; delays actually slept are recorded on the outcome.
+    """
+    outcome = RetryOutcome()
+    delays = policy.delays()
+    while True:
+        outcome.attempts += 1
+        try:
+            with time_limit(policy.timeout_seconds):
+                outcome.value = func()
+        except FATAL_EXCEPTIONS:
+            raise
+        except Exception as exc:  # robust: degradation boundary — fatal exceptions re-raised above, everything else becomes a structured RetryOutcome for the caller to surface
+            outcome.failures += 1
+            outcome.error = exc
+            outcome.traceback_text = traceback.format_exc()
+            if on_failure is not None:
+                on_failure(exc, outcome.attempts)
+            if isinstance(exc, TimeoutExceeded):
+                return outcome
+            try:
+                delay = next(delays)
+            except StopIteration:
+                return outcome
+            if delay > 0:
+                outcome.delays_slept.append(delay)
+                sleep(delay)
+            continue
+        outcome.error = None
+        outcome.traceback_text = ""
+        return outcome

@@ -1,0 +1,64 @@
+"""Best-effort per-call wall-time limits.
+
+:func:`time_limit` bounds how long one experiment may run so a single
+pathological fit cannot stall a whole ``repro report``.  It is built on
+``SIGALRM``/``setitimer`` and therefore *advisory*: it works in the
+main thread of a POSIX process (which is exactly where serial runs and
+fork-pool workers execute experiments) and degrades to a no-op
+elsewhere — a limit that cannot be enforced must never break a run
+that would otherwise succeed.  Pure-C sections that do not return to
+the interpreter can overrun the limit; the signal fires as soon as
+bytecode execution resumes.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["TimeoutExceeded", "timeout_supported", "time_limit"]
+
+
+class TimeoutExceeded(TimeoutError):
+    """A call exceeded its :func:`time_limit` budget."""
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(f"call exceeded the {seconds:g}s time limit")
+        self.seconds = seconds
+
+
+def timeout_supported() -> bool:
+    """True when :func:`time_limit` can actually enforce a limit here."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def time_limit(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`TimeoutExceeded` if the body runs longer than
+    ``seconds``.
+
+    ``None`` or a non-positive value disables the limit, as does an
+    environment where enforcement is impossible (no ``SIGALRM``, or a
+    non-main thread).  The previous signal handler and any outer
+    interval timer are restored on exit, so nesting an unenforceable
+    inner limit inside an enforced outer one keeps the outer deadline.
+    """
+    if not seconds or seconds <= 0 or not timeout_supported():
+        yield
+        return
+
+    def _raise_timeout(signum: int, frame: object) -> None:
+        raise TimeoutExceeded(seconds)
+
+    previous_handler = signal.signal(signal.SIGALRM, _raise_timeout)
+    previous_delay, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, previous_delay)
+        signal.signal(signal.SIGALRM, previous_handler)

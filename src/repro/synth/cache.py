@@ -19,6 +19,16 @@ The fingerprint is the SHA-256 of the canonical JSON of the full
 override produces a distinct cache entry.  Ground truth is not cached —
 it exists for calibration tests only — and the deterministic
 :class:`RateOracle` is rebuilt on load.
+
+Crash safety (see ``docs/robustness.md`` and :mod:`repro.robust`):
+entries are *published atomically* — staged in a ``tmp-<pid>`` sibling,
+fsynced, then ``os.replace``d into place — and ``meta.json`` carries a
+sha256 checksum of ``data.npz`` that is verified on load.  Any corrupt
+entry (torn write, truncated archive, bit rot) is **quarantined** to
+``<entry>.corrupt-<n>`` and treated as a miss, counted as
+``cache.corrupt`` on the tracer.  ``cached_generate`` holds an advisory
+``<entry>.lock`` file lock while generating, so concurrent processes
+asked for the same config generate once and share the result.
 """
 
 from __future__ import annotations
@@ -27,6 +37,8 @@ import datetime as _dt
 import hashlib
 import json
 import os
+import shutil
+import zipfile
 from dataclasses import asdict
 from typing import Dict, Optional, Tuple
 
@@ -47,11 +59,17 @@ from ..core.entities import (
     Visibility,
 )
 from ..obs.tracer import get_tracer
+from ..robust.atomic import publish_dir, sha256_file, staging_dir
+from ..robust.crashpoints import crash_point
+from ..robust.locks import FileLock, LockTimeout
+from ..robust.quarantine import quarantine_dir
 from .config import DEFAULT_CONFIG, SimulationConfig
 from .marketsim import MarketSimulator, SimulationResult, SimulationTruth
 
 __all__ = [
     "CACHE_VERSION",
+    "RATING_SENTINEL",
+    "CorruptEntryError",
     "default_cache_dir",
     "config_fingerprint",
     "cache_path",
@@ -61,7 +79,23 @@ __all__ = [
 ]
 
 #: Bump when the on-disk layout changes; stale entries are regenerated.
-CACHE_VERSION = 1
+#: v2: per-entry sha256 checksums in meta.json, and the nullable rating
+#: columns moved from a 0 sentinel (which clobbered legitimate 0
+#: ratings) to :data:`RATING_SENTINEL`.
+CACHE_VERSION = 2
+
+#: ``None`` marker for the int8 rating columns.  0 is a legitimate
+#: rating value, so the sentinel sits at the far end of the int8 range.
+RATING_SENTINEL = -128
+
+
+class CorruptEntryError(Exception):
+    """A cache entry exists but cannot be trusted (torn/corrupt/stale-
+    but-matching-version); the loader quarantines it and reports a miss."""
+
+
+class _StaleEntry(Exception):
+    """Entry belongs to another CACHE_VERSION or config; plain miss."""
 
 _EPOCH = _dt.datetime(1970, 1, 1)
 _TYPE_CODES = tuple(ContractType)
@@ -106,6 +140,11 @@ def _when(us: int) -> Optional[_dt.datetime]:
     return datetime_from_us(us)
 
 
+def _rating(raw: int) -> Optional[int]:
+    # 0 is a legitimate rating; only the sentinel means "no rating".
+    return None if raw == RATING_SENTINEL else raw
+
+
 def _str_column(values) -> np.ndarray:
     # Fixed-width unicode keeps the npz pickle-free; '' encodes None.
     return np.asarray([v if v is not None else "" for v in values], dtype=np.str_)
@@ -143,10 +182,12 @@ def _columns_of(result: SimulationResult) -> Dict[str, np.ndarray]:
         "c_taker_obligation": _str_column(c.taker_obligation for c in contracts),
         "c_terms": _str_column(c.terms for c in contracts),
         "c_maker_rating": np.asarray(
-            [c.maker_rating or 0 for c in contracts], np.int8
+            [RATING_SENTINEL if c.maker_rating is None else c.maker_rating
+             for c in contracts], np.int8
         ),
         "c_taker_rating": np.asarray(
-            [c.taker_rating or 0 for c in contracts], np.int8
+            [RATING_SENTINEL if c.taker_rating is None else c.taker_rating
+             for c in contracts], np.int8
         ),
         "c_thread": _int_column(c.thread_id for c in contracts),
         "c_btc_address": _str_column(c.btc_address for c in contracts),
@@ -176,16 +217,34 @@ def _columns_of(result: SimulationResult) -> Dict[str, np.ndarray]:
 
 
 def save_result(result: SimulationResult, cache_dir: Optional[str] = None) -> str:
-    """Persist ``result`` under its config's cache entry; returns the path."""
+    """Persist ``result`` under its config's cache entry; returns the path.
+
+    The entry is published atomically: both files are staged in a
+    ``tmp-<pid>`` sibling directory, fsynced, and swapped into place
+    with ``os.replace`` (:func:`repro.robust.atomic.publish_dir`).  A
+    crash at any point leaves either the previous entry or no entry —
+    never a torn one.  ``meta.json`` records a sha256 checksum of
+    ``data.npz`` that :func:`load_result` verifies.
+    """
     entry = cache_path(result.config, cache_dir)
-    os.makedirs(entry, exist_ok=True)
+    os.makedirs(os.path.dirname(entry) or ".", exist_ok=True)
+    stage = staging_dir(entry)
+    if os.path.exists(stage):
+        shutil.rmtree(stage)
+    os.makedirs(stage)
+    # A failure below leaves only the staged tmp-<pid> directory behind
+    # (exactly what a dead process would leave); readers never look at
+    # it and the next save from this pid replaces it.
     dataset = result.dataset
-    np.savez_compressed(os.path.join(entry, "data.npz"), **_columns_of(result))
+    data_path = os.path.join(stage, "data.npz")
+    np.savez_compressed(data_path, **_columns_of(result))
+    crash_point("cache.save.mid_write")
     meta = {
         "version": CACHE_VERSION,
         "scale": result.config.scale,
         "seed": result.config.seed,
         "fingerprint": config_fingerprint(result.config),
+        "checksums": {"data.npz": sha256_file(data_path)},
         "counts": {
             "users": len(dataset.users),
             "contracts": len(dataset.contracts),
@@ -195,8 +254,11 @@ def save_result(result: SimulationResult, cache_dir: Optional[str] = None) -> st
             "transactions": len(result.ledger),
         },
     }
-    with open(os.path.join(entry, "meta.json"), "w", encoding="utf-8") as handle:
+    with open(os.path.join(stage, "meta.json"), "w", encoding="utf-8") as handle:
         json.dump(meta, handle, indent=2, sort_keys=True)
+    crash_point("cache.save.before_publish")
+    publish_dir(stage, entry)
+    crash_point("cache.save.after_publish")
     return entry
 
 
@@ -226,8 +288,8 @@ def _load_columns(entry: str, config: SimulationConfig) -> SimulationResult:
             maker_obligation=str(cols["c_maker_obligation"][i]),
             taker_obligation=str(cols["c_taker_obligation"][i]),
             terms=str(cols["c_terms"][i]),
-            maker_rating=int(cols["c_maker_rating"][i]) or None,
-            taker_rating=int(cols["c_taker_rating"][i]) or None,
+            maker_rating=_rating(int(cols["c_maker_rating"][i])),
+            taker_rating=_rating(int(cols["c_taker_rating"][i])),
             thread_id=(
                 int(cols["c_thread"][i]) if cols["c_thread"][i] >= 0 else None
             ),
@@ -288,27 +350,69 @@ def _load_columns(entry: str, config: SimulationConfig) -> SimulationResult:
     )
 
 
-def load_result(
-    config: SimulationConfig, cache_dir: Optional[str] = None
-) -> Optional[SimulationResult]:
-    """Load the cache entry for ``config``, or None on miss/stale entry."""
-    entry = cache_path(config, cache_dir)
+def _load_entry(entry: str, config: SimulationConfig) -> SimulationResult:
+    """Load one entry directory, raising on anything untrustworthy.
+
+    Raises :class:`_StaleEntry` for version/fingerprint mismatches (a
+    plain miss: the entry is valid, just not ours) and
+    :class:`CorruptEntryError` for everything that should never happen
+    to a healthy entry: missing files, unreadable or partial
+    ``meta.json``, a checksum mismatch, or any decode failure from the
+    archive itself — including ``zipfile.BadZipFile``/``EOFError`` from
+    truncation and ``IndexError`` from out-of-range enum codes.
+    """
     meta_path = os.path.join(entry, "meta.json")
     data_path = os.path.join(entry, "data.npz")
     if not (os.path.exists(meta_path) and os.path.exists(data_path)):
-        return None
+        raise CorruptEntryError(f"torn entry (missing files): {entry}")
     try:
         with open(meta_path, "r", encoding="utf-8") as handle:
             meta = json.load(handle)
-    except (OSError, ValueError):
-        return None
+    except (OSError, ValueError) as exc:
+        raise CorruptEntryError(f"unreadable meta.json: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise CorruptEntryError("meta.json is not a JSON object")
     if meta.get("version") != CACHE_VERSION:
-        return None
+        raise _StaleEntry()
     if meta.get("fingerprint") != config_fingerprint(config):
-        return None
+        raise _StaleEntry()
+    checksums = meta.get("checksums")
+    if not isinstance(checksums, dict) or "data.npz" not in checksums:
+        raise CorruptEntryError("meta.json missing the data.npz checksum")
+    digest = sha256_file(data_path)
+    if digest != checksums["data.npz"]:
+        raise CorruptEntryError(
+            f"data.npz checksum mismatch (meta {checksums['data.npz'][:12]}…, "
+            f"file {digest[:12]}…)"
+        )
     try:
         return _load_columns(entry, config)
-    except (OSError, KeyError, ValueError):
+    except (OSError, KeyError, ValueError, IndexError, EOFError,
+            zipfile.BadZipFile) as exc:
+        raise CorruptEntryError(f"undecodable entry: {exc!r}") from exc
+
+
+def load_result(
+    config: SimulationConfig, cache_dir: Optional[str] = None
+) -> Optional[SimulationResult]:
+    """Load the cache entry for ``config``, or None on any miss.
+
+    A *corrupt* entry — torn write, truncated or scrambled archive,
+    malformed metadata, checksum mismatch — is quarantined to
+    ``<entry>.corrupt-<n>`` (counted as ``cache.corrupt``) and reported
+    as a miss, so one bad file costs a regeneration, never a crash.
+    Stale entries (other ``CACHE_VERSION``/config) are left in place
+    and simply miss; regeneration replaces them atomically.
+    """
+    entry = cache_path(config, cache_dir)
+    if not os.path.isdir(entry):
+        return None
+    try:
+        return _load_entry(entry, config)
+    except _StaleEntry:
+        return None
+    except CorruptEntryError:
+        quarantine_dir(entry)
         return None
 
 
@@ -317,6 +421,7 @@ def cached_generate(
     seed: int = DEFAULT_CONFIG.seed,
     cache_dir: Optional[str] = None,
     refresh: bool = False,
+    lock_timeout: Optional[float] = 600.0,
     **overrides,
 ) -> Tuple[SimulationResult, bool]:
     """Generate a market through the cache.
@@ -325,6 +430,14 @@ def cached_generate(
     disk.  ``refresh`` forces regeneration (and rewrites the entry).  The
     cached result carries an empty :class:`SimulationTruth` — analyses
     never read truth, only calibration tests do, and those generate fresh.
+
+    Concurrency: before generating, an advisory ``<entry>.lock`` file
+    lock is taken (waiting up to ``lock_timeout`` seconds) and the cache
+    is re-checked, so two processes racing on the same config generate
+    once — the loser waits and loads the winner's entry.  A lock that
+    cannot be acquired in time is counted (``cache.lock_timeout``) and
+    generation proceeds unlocked; publication stays atomic either way,
+    so the worst case is duplicate work, not a torn entry.
     """
     tracer = get_tracer()
     config = SimulationConfig(scale=scale, seed=seed, **overrides)
@@ -334,8 +447,27 @@ def cached_generate(
         if cached is not None:
             tracer.count("cache.hits")
             return cached, True
-    tracer.count("cache.misses")
-    result = MarketSimulator(config).run()
-    with tracer.span("cache.save"):
-        save_result(result, cache_dir)
-    return result, False
+
+    entry = cache_path(config, cache_dir)
+    os.makedirs(os.path.dirname(entry) or ".", exist_ok=True)
+    lock = FileLock(entry + ".lock", timeout=lock_timeout)
+    try:
+        with tracer.span("cache.lock"):
+            lock.acquire()
+    except LockTimeout:
+        tracer.count("cache.lock_timeout")
+    try:
+        if not refresh:
+            # Double-check under the lock: the previous holder may have
+            # generated exactly this entry while we waited.
+            cached = load_result(config, cache_dir)
+            if cached is not None:
+                tracer.count("cache.hits")
+                return cached, True
+        tracer.count("cache.misses")
+        result = MarketSimulator(config).run()
+        with tracer.span("cache.save"):
+            save_result(result, cache_dir)
+        return result, False
+    finally:
+        lock.release()

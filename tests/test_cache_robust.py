@@ -1,0 +1,263 @@
+"""Cache robustness: the rating-0 round-trip regression, corruption
+quarantine, crash-safe publication and the concurrent-generation lock.
+
+The corruption fixtures come from the fault harness
+(:mod:`repro.devtools.faults`); every scenario here must end in either a
+correct load or a quarantined entry plus a clean miss — never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.devtools import faults
+from repro.obs.tracer import NullTracer, Tracer, set_tracer
+from repro.robust import InjectedCrash, disarm_all_crash_points
+from repro.synth import MarketSimulator, SimulationConfig
+from repro.synth.cache import (
+    CACHE_VERSION,
+    RATING_SENTINEL,
+    cache_path,
+    cached_generate,
+    load_result,
+    save_result,
+)
+
+#: One tiny market, generated once; tests that need a pristine entry
+#: re-save it into their own tmp cache dir.
+SCALE, SEED = 0.004, 9
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    config = SimulationConfig(scale=SCALE, seed=SEED, generate_posts=False)
+    return MarketSimulator(config).run()
+
+
+@pytest.fixture
+def tracer():
+    installed = set_tracer(Tracer())
+    yield installed
+    set_tracer(NullTracer())
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.reset()
+    disarm_all_crash_points()
+
+
+def entry_of(tiny_result, cache_dir):
+    return cache_path(tiny_result.config, str(cache_dir))
+
+
+# --------------------------------------------------------------------- #
+# rating round-trip (regression: 0 used to come back as None)
+# --------------------------------------------------------------------- #
+
+
+class TestRatingRoundTrip:
+    def test_zero_rating_survives_the_cache(self, tiny_result, tmp_path):
+        contracts = tiny_result.dataset.contracts
+        victim = contracts[0]
+        victim.maker_rating = 0
+        victim.taker_rating = 0
+        try:
+            save_result(tiny_result, str(tmp_path))
+            loaded = load_result(tiny_result.config, str(tmp_path))
+            assert loaded is not None
+            match = next(
+                c for c in loaded.dataset.contracts
+                if c.contract_id == victim.contract_id
+            )
+            # The old encoding used 0 as the None sentinel, so a
+            # legitimate 0 rating came back as None.
+            assert match.maker_rating == 0
+            assert match.taker_rating == 0
+        finally:
+            victim.maker_rating = None
+            victim.taker_rating = None
+
+    def test_none_rating_still_round_trips(self, tiny_result, tmp_path):
+        unrated = [
+            c for c in tiny_result.dataset.contracts if c.maker_rating is None
+        ]
+        assert unrated, "fixture market should contain unrated contracts"
+        save_result(tiny_result, str(tmp_path))
+        loaded = load_result(tiny_result.config, str(tmp_path))
+        match = next(
+            c for c in loaded.dataset.contracts
+            if c.contract_id == unrated[0].contract_id
+        )
+        assert match.maker_rating is None
+
+    def test_sentinel_is_outside_rating_range(self, tiny_result):
+        scores = [
+            r for c in tiny_result.dataset.contracts
+            for r in (c.maker_rating, c.taker_rating) if r is not None
+        ]
+        assert scores and all(s > RATING_SENTINEL for s in scores)
+
+
+# --------------------------------------------------------------------- #
+# corruption -> quarantine -> miss
+# --------------------------------------------------------------------- #
+
+
+def _assert_quarantined_miss(config, cache_dir, tracer, expected_corrupt=1):
+    loaded = load_result(config, str(cache_dir))
+    assert loaded is None
+    entry = cache_path(config, str(cache_dir))
+    assert not os.path.exists(entry)
+    assert os.path.isdir(entry + ".corrupt-1")
+    assert tracer.counters.get("cache.corrupt", 0) == expected_corrupt
+
+
+class TestCorruptEntries:
+    def test_truncated_npz_is_quarantined(self, tiny_result, tmp_path, tracer):
+        entry = save_result(tiny_result, str(tmp_path))
+        faults.truncate_npz(entry)
+        _assert_quarantined_miss(tiny_result.config, tmp_path, tracer)
+
+    def test_scrambled_npz_caught_by_checksum(self, tiny_result, tmp_path, tracer):
+        entry = save_result(tiny_result, str(tmp_path))
+        faults.scramble_npz(entry, seed=7)
+        _assert_quarantined_miss(tiny_result.config, tmp_path, tracer)
+
+    def test_malformed_meta_is_quarantined(self, tiny_result, tmp_path, tracer):
+        entry = save_result(tiny_result, str(tmp_path))
+        faults.corrupt_meta(entry, mode="malformed")
+        _assert_quarantined_miss(tiny_result.config, tmp_path, tracer)
+
+    def test_partial_meta_is_quarantined(self, tiny_result, tmp_path, tracer):
+        entry = save_result(tiny_result, str(tmp_path))
+        faults.corrupt_meta(entry, mode="partial")
+        _assert_quarantined_miss(tiny_result.config, tmp_path, tracer)
+
+    def test_falsified_checksum_is_quarantined(self, tiny_result, tmp_path, tracer):
+        entry = save_result(tiny_result, str(tmp_path))
+        faults.corrupt_meta(entry, mode="checksum")
+        _assert_quarantined_miss(tiny_result.config, tmp_path, tracer)
+
+    def test_missing_data_file_is_quarantined(self, tiny_result, tmp_path, tracer):
+        entry = save_result(tiny_result, str(tmp_path))
+        os.unlink(os.path.join(entry, "data.npz"))
+        _assert_quarantined_miss(tiny_result.config, tmp_path, tracer)
+
+    def test_stale_version_misses_without_quarantine(
+        self, tiny_result, tmp_path, tracer
+    ):
+        entry = save_result(tiny_result, str(tmp_path))
+        meta_path = os.path.join(entry, "meta.json")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["version"] = CACHE_VERSION - 1
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        assert load_result(tiny_result.config, str(tmp_path)) is None
+        # A stale entry is valid data for another version: left in place.
+        assert os.path.isdir(entry)
+        assert tracer.counters.get("cache.corrupt", 0) == 0
+
+    def test_regeneration_replaces_quarantined_entry(
+        self, tiny_result, tmp_path, tracer
+    ):
+        entry = save_result(tiny_result, str(tmp_path))
+        faults.truncate_npz(entry)
+        result, hit = cached_generate(
+            scale=SCALE, seed=SEED, cache_dir=str(tmp_path),
+            generate_posts=False,
+        )
+        assert hit is False  # corruption degraded to a miss + regenerate
+        assert os.path.isdir(entry)
+        assert os.path.isdir(entry + ".corrupt-1")
+        again = load_result(tiny_result.config, str(tmp_path))
+        assert again is not None
+        assert len(again.dataset.contracts) == len(result.dataset.contracts)
+
+
+# --------------------------------------------------------------------- #
+# crash-safe publication
+# --------------------------------------------------------------------- #
+
+
+class TestCrashSafety:
+    def test_crash_before_publish_preserves_old_entry(
+        self, tiny_result, tmp_path
+    ):
+        entry = save_result(tiny_result, str(tmp_path))
+        before = sorted(os.listdir(entry))
+        faults.crash_on("cache.save.before_publish")
+        with pytest.raises(InjectedCrash):
+            save_result(tiny_result, str(tmp_path))
+        disarm_all_crash_points()
+        # The previous entry is untouched and still loads.
+        assert sorted(os.listdir(entry)) == before
+        assert load_result(tiny_result.config, str(tmp_path)) is not None
+        # Only a tmp-<pid> staging dir may remain; a rerun clears it.
+        leftovers = [
+            name for name in os.listdir(tmp_path)
+            if ".tmp-" in name
+        ]
+        assert len(leftovers) <= 1
+        save_result(tiny_result, str(tmp_path))
+        assert not any(".tmp-" in name for name in os.listdir(tmp_path))
+
+    def test_crash_mid_write_never_publishes_torn_entry(
+        self, tiny_result, tmp_path
+    ):
+        faults.crash_on("cache.save.mid_write")
+        with pytest.raises(InjectedCrash):
+            save_result(tiny_result, str(tmp_path))
+        disarm_all_crash_points()
+        # No entry was published at all: a clean miss, not a torn read.
+        assert load_result(tiny_result.config, str(tmp_path)) is None
+        save_result(tiny_result, str(tmp_path))
+        assert load_result(tiny_result.config, str(tmp_path)) is not None
+
+
+# --------------------------------------------------------------------- #
+# concurrent generation
+# --------------------------------------------------------------------- #
+
+
+def _generate_into(cache_dir, ready, go, out):
+    ready.set()
+    go.wait(timeout=30.0)
+    result, hit = cached_generate(
+        scale=SCALE, seed=SEED, cache_dir=cache_dir, generate_posts=False,
+    )
+    out.put((hit, result.dataset.summary()))
+
+
+class TestConcurrentGenerate:
+    def test_two_processes_generate_once(self, tmp_path):
+        context = multiprocessing.get_context("fork")
+        out = context.Queue()
+        go = context.Event()
+        workers, readies = [], []
+        for _ in range(2):
+            ready = context.Event()
+            worker = context.Process(
+                target=_generate_into, args=(str(tmp_path), ready, go, out)
+            )
+            worker.start()
+            workers.append(worker)
+            readies.append(ready)
+        for ready in readies:
+            assert ready.wait(timeout=30.0)
+        go.set()  # release both as close to simultaneously as possible
+        results = [out.get(timeout=180.0) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=30.0)
+        hits = sorted(hit for hit, _ in results)
+        # Exactly one process generated; the other waited on the lock,
+        # re-checked the cache and loaded the winner's entry.
+        assert hits == [False, True]
+        summaries = [summary for _, summary in results]
+        assert summaries[0] == summaries[1]

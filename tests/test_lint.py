@@ -361,6 +361,92 @@ class TestUndocumentedPublicModule:
 
 
 # --------------------------------------------------------------------- #
+# R008 broad-except-unjustified
+# --------------------------------------------------------------------- #
+
+
+class TestBroadExceptUnjustified:
+    def test_flags_unjustified_except_exception(self):
+        findings = lint_one(
+            "def safe(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        assert rule_ids(findings) == ["R008"]
+        assert "# robust:" in findings[0].message
+
+    def test_flags_bare_except_and_base_exception(self):
+        findings = lint_one(
+            "def safe(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except:\n"
+            "        pass\n"
+            "def safer(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except BaseException:\n"
+            "        raise\n"
+        )
+        assert [f.rule for f in findings] == ["R008", "R008"]
+
+    def test_flags_broad_type_inside_tuple(self):
+        findings = lint_one(
+            "def safe(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except (ValueError, Exception):\n"
+            "        return None\n"
+        )
+        assert rule_ids(findings) == ["R008"]
+
+    def test_robust_comment_on_handler_line_justifies(self):
+        findings = lint_one(
+            "def safe(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:  # robust: degradation boundary\n"
+            "        return None\n"
+        )
+        assert findings == []
+
+    def test_robust_comment_on_line_above_justifies(self):
+        findings = lint_one(
+            "def safe(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    # robust: caller surfaces the structured error record\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        assert findings == []
+
+    def test_specific_exceptions_are_fine(self):
+        findings = lint_one(
+            "import zipfile\n"
+            "def load(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except (OSError, ValueError, zipfile.BadZipFile):\n"
+            "        return None\n"
+        )
+        assert findings == []
+
+    def test_tests_are_out_of_scope(self):
+        findings = lint_one(
+            "def test_thing():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        pass\n",
+            path=TESTS, docstring=False,
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
 # registry and explain
 # --------------------------------------------------------------------- #
 
@@ -368,7 +454,7 @@ class TestUndocumentedPublicModule:
 class TestRegistry:
     def test_all_rules_registered(self):
         assert sorted(RULES) == [
-            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
         ]
 
     def test_every_rule_documented(self):
@@ -429,6 +515,14 @@ VIOLATIONS = {
         "def test_value(v):\n    assert v == 0.435\n",
     ),
     "R007": ("src/repro/v7.py", "VALUE = 1\n"),
+    "R008": (
+        "src/repro/v8.py",
+        DOC + "def safe(fn):\n"
+              "    try:\n"
+              "        return fn()\n"
+              "    except Exception:\n"
+              "        return None\n",
+    ),
 }
 
 

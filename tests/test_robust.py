@@ -1,0 +1,328 @@
+"""repro.robust primitives: atomic publication, locks, retry policies,
+timeouts and crash points — each guarantee exercised in isolation."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.robust import (
+    FATAL_EXCEPTIONS,
+    FileLock,
+    InjectedCrash,
+    LockTimeout,
+    RetryPolicy,
+    TimeoutExceeded,
+    arm_crash_point,
+    armed_crash_points,
+    crash_point,
+    disarm_all_crash_points,
+    publish_dir,
+    quarantine_dir,
+    quarantined_siblings,
+    run_with_policy,
+    sha256_file,
+    staging_dir,
+    time_limit,
+    timeout_supported,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    disarm_all_crash_points()
+
+
+# --------------------------------------------------------------------- #
+# atomic publication
+# --------------------------------------------------------------------- #
+
+
+def _write_entry(directory, payload=b"payload"):
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "data.bin"), "wb") as handle:
+        handle.write(payload)
+
+
+class TestAtomic:
+    def test_staging_dir_is_pid_unique_sibling(self, tmp_path):
+        final = str(tmp_path / "entry")
+        stage = staging_dir(final)
+        assert stage == f"{final}.tmp-{os.getpid()}"
+
+    def test_publish_into_empty_slot(self, tmp_path):
+        final = str(tmp_path / "entry")
+        stage = staging_dir(final)
+        _write_entry(stage, b"fresh")
+        assert publish_dir(stage, final) == final
+        assert not os.path.exists(stage)
+        with open(os.path.join(final, "data.bin"), "rb") as handle:
+            assert handle.read() == b"fresh"
+
+    def test_publish_replaces_existing_entry(self, tmp_path):
+        final = str(tmp_path / "entry")
+        _write_entry(final, b"old")
+        stage = staging_dir(final)
+        _write_entry(stage, b"new")
+        publish_dir(stage, final)
+        with open(os.path.join(final, "data.bin"), "rb") as handle:
+            assert handle.read() == b"new"
+        # No tmp-/old- residue is left behind.
+        assert sorted(os.listdir(tmp_path)) == ["entry"]
+
+    def test_sha256_matches_hashlib(self, tmp_path):
+        import hashlib
+
+        path = tmp_path / "blob"
+        path.write_bytes(b"x" * 3_000_000)  # spans multiple chunks
+        assert sha256_file(str(path)) == hashlib.sha256(
+            b"x" * 3_000_000
+        ).hexdigest()
+
+    def test_sha256_detects_single_byte_change(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"abcdef")
+        before = sha256_file(str(path))
+        path.write_bytes(b"abcdeg")
+        assert sha256_file(str(path)) != before
+
+
+# --------------------------------------------------------------------- #
+# quarantine
+# --------------------------------------------------------------------- #
+
+
+class TestQuarantine:
+    def test_quarantine_moves_and_numbers(self, tmp_path):
+        entry = str(tmp_path / "entry")
+        _write_entry(entry)
+        first = quarantine_dir(entry)
+        assert first == entry + ".corrupt-1"
+        assert os.path.isdir(first) and not os.path.exists(entry)
+        _write_entry(entry)
+        second = quarantine_dir(entry)
+        assert second == entry + ".corrupt-2"
+        assert quarantined_siblings(entry) == [first, second]
+
+    def test_missing_entry_returns_none(self, tmp_path):
+        assert quarantine_dir(str(tmp_path / "nope")) is None
+
+
+# --------------------------------------------------------------------- #
+# file locks
+# --------------------------------------------------------------------- #
+
+
+def _hold_lock(path, acquired, release):
+    lock = FileLock(path, timeout=5.0)
+    lock.acquire()
+    acquired.set()
+    release.wait(timeout=10.0)
+    lock.release()
+
+
+class TestFileLock:
+    def test_exclusion_across_processes(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        context = multiprocessing.get_context("fork")
+        acquired, release = context.Event(), context.Event()
+        holder = context.Process(target=_hold_lock, args=(path, acquired, release))
+        holder.start()
+        try:
+            assert acquired.wait(timeout=10.0)
+            with pytest.raises(LockTimeout):
+                FileLock(path, timeout=0.2).acquire()
+            release.set()
+            holder.join(timeout=10.0)
+            with FileLock(path, timeout=2.0) as lock:
+                assert lock.locked
+        finally:
+            release.set()
+            if holder.is_alive():
+                holder.terminate()
+
+    def test_reentrant_acquire_is_idempotent(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"), timeout=1.0)
+        lock.acquire()
+        lock.acquire()  # already held by us: no deadlock, no error
+        assert lock.locked
+        lock.release()
+        assert not lock.locked
+        lock.release()  # double release is harmless
+
+    def test_dead_holder_does_not_leave_stale_lock(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        context = multiprocessing.get_context("fork")
+        acquired, release = context.Event(), context.Event()
+        holder = context.Process(target=_hold_lock, args=(path, acquired, release))
+        holder.start()
+        assert acquired.wait(timeout=10.0)
+        holder.terminate()  # dies without releasing
+        holder.join(timeout=10.0)
+        with FileLock(path, timeout=2.0) as lock:  # kernel released flock
+            assert lock.locked
+
+
+# --------------------------------------------------------------------- #
+# timeouts
+# --------------------------------------------------------------------- #
+
+
+class TestTimeLimit:
+    def test_fast_body_passes(self):
+        with time_limit(5.0):
+            value = 1 + 1
+        assert value == 2
+
+    def test_slow_body_raises(self):
+        if not timeout_supported():
+            pytest.skip("SIGALRM not available here")
+        with pytest.raises(TimeoutExceeded) as info:
+            with time_limit(0.05):
+                time.sleep(2.0)
+        assert info.value.seconds == pytest.approx(0.05)
+
+    def test_none_and_nonpositive_disable(self):
+        with time_limit(None):
+            pass
+        with time_limit(0):
+            pass
+        with time_limit(-1.0):
+            pass
+
+    def test_previous_handler_restored(self):
+        if not timeout_supported():
+            pytest.skip("SIGALRM not available here")
+        import signal
+
+        before = signal.getsignal(signal.SIGALRM)
+        with time_limit(10.0):
+            pass
+        assert signal.getsignal(signal.SIGALRM) is before
+
+
+# --------------------------------------------------------------------- #
+# retry policies
+# --------------------------------------------------------------------- #
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_seconds=-0.5)
+
+    def test_delays_are_exponential(self):
+        policy = RetryPolicy(max_retries=3, backoff_seconds=1.0, backoff_factor=2.0)
+        assert list(policy.delays()) == [1.0, 2.0, 4.0]
+
+    def test_zero_retries_yields_no_delays(self):
+        assert list(RetryPolicy(max_retries=0).delays()) == []
+
+
+class TestRunWithPolicy:
+    def test_success_first_try(self):
+        outcome = run_with_policy(lambda: 42, RetryPolicy())
+        assert outcome.ok and outcome.value == 42
+        assert outcome.attempts == 1
+        assert outcome.failures == 0
+        assert outcome.retries == 0
+
+    def test_success_after_failure(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return "ok"
+
+        seen = []
+        outcome = run_with_policy(
+            flaky, RetryPolicy(max_retries=1),
+            on_failure=lambda exc, attempt: seen.append((str(exc), attempt)),
+        )
+        assert outcome.ok and outcome.value == "ok"
+        assert outcome.attempts == 2
+        assert outcome.failures == 1
+        assert outcome.retries == 1
+        assert seen == [("transient", 1)]
+
+    def test_exhaustion_degrades_to_outcome(self):
+        def always():
+            raise ValueError("still broken")
+
+        outcome = run_with_policy(always, RetryPolicy(max_retries=2))
+        assert not outcome.ok
+        assert outcome.attempts == 3
+        assert outcome.failures == 3
+        assert isinstance(outcome.error, ValueError)
+        assert "still broken" in outcome.traceback_text
+
+    def test_backoff_uses_sleep_seam(self):
+        slept = []
+
+        def always():
+            raise RuntimeError("nope")
+
+        outcome = run_with_policy(
+            always,
+            RetryPolicy(max_retries=2, backoff_seconds=0.5, backoff_factor=3.0),
+            sleep=slept.append,
+        )
+        assert slept == [0.5, 1.5]
+        assert outcome.delays_slept == [0.5, 1.5]
+
+    def test_fatal_exceptions_propagate(self):
+        def interrupt():
+            raise KeyboardInterrupt()
+
+        with pytest.raises(KeyboardInterrupt):
+            run_with_policy(interrupt, RetryPolicy(max_retries=5))
+        assert KeyboardInterrupt in FATAL_EXCEPTIONS
+
+    def test_timeout_is_never_retried(self):
+        calls = {"n": 0}
+
+        def slow():
+            calls["n"] += 1
+            raise TimeoutExceeded(0.1)
+
+        outcome = run_with_policy(slow, RetryPolicy(max_retries=5))
+        assert calls["n"] == 1
+        assert not outcome.ok
+        assert outcome.attempts == 1
+        assert isinstance(outcome.error, TimeoutExceeded)
+
+
+# --------------------------------------------------------------------- #
+# crash points
+# --------------------------------------------------------------------- #
+
+
+class TestCrashPoints:
+    def test_unarmed_point_is_noop(self):
+        crash_point("nothing.armed")  # must not raise
+
+    def test_armed_point_fires_on_nth_call(self):
+        arm_crash_point("seam", at_call=2)
+        crash_point("seam")  # call 1: survives
+        with pytest.raises(InjectedCrash):
+            crash_point("seam")  # call 2: fires
+        crash_point("seam")  # call 3: spent, no-op again
+
+    def test_armed_registry_and_disarm(self):
+        arm_crash_point("seam.a", at_call=3)
+        assert armed_crash_points() == {"seam.a": 3}
+        disarm_all_crash_points()
+        assert armed_crash_points() == {}
+        crash_point("seam.a")
+
+    def test_at_call_must_be_positive(self):
+        with pytest.raises(ValueError):
+            arm_crash_point("seam", at_call=0)
