@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults lint docscheck typecheck bench bench-smoke reproduce reproduce-full clean
+.PHONY: install test test-faults lint docscheck typecheck bench bench-smoke bench-gen-smoke reproduce reproduce-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,15 @@ bench-smoke:
 		--benchmark-only --benchmark-disable-gc \
 		--benchmark-json=BENCH_smoke.json
 
+# Generation-engine gate: object vs columnar (fastgen) vs sharded at
+# smoke and 10x-smoke scale, checked against the committed baseline
+# (fails on a >2x slowdown; refresh with check_gen_regression.py --update).
+bench-gen-smoke:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) benchmarks/bench_fastgen.py \
+		--tenx --out BENCH_gen_smoke.json
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) benchmarks/check_gen_regression.py \
+		BENCH_gen_smoke.json
+
 reproduce:
 	$(PYTHON) examples/reproduce_paper.py --scale 0.05 --out reproduction_results
 
@@ -49,5 +58,5 @@ reproduce-full:
 	$(PYTHON) examples/reproduce_paper.py --scale 1.0 --out reproduction_fullscale
 
 clean:
-	rm -rf reproduction_results benchmarks/results .pytest_cache
+	rm -rf reproduction_results benchmarks/results .pytest_cache BENCH_gen_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

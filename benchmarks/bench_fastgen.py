@@ -1,0 +1,158 @@
+"""Benchmark: object engine vs the columnar generation engine.
+
+Times three ways of synthesising the same market —
+
+* ``object``          — :class:`repro.synth.marketsim.MarketSimulator`,
+  the per-entity reference implementation;
+* ``fastgen``         — :class:`repro.synth.fastgen.FastMarketSimulator`
+  with one process (vectorized, cohort-sharded in-process);
+* ``fastgen-sharded`` — the same engine fanning cohort shards across
+  forked worker processes (identical output at any worker count).
+
+Each engine is timed best-of-``--repeats`` *in the same process*, which
+matters: wall-clock on shared machines varies by 30-50% between runs, so
+a single cold measurement of each engine in separate processes says
+little.  Results (seconds, entity counts, users/sec, contracts/sec and
+the object/fastgen speedup) are written as JSON for regression tracking
+— ``make bench-gen-smoke`` runs this at smoke scale and gates on
+``benchmarks/gen_baseline.json`` via ``check_gen_regression.py``.
+
+Usage::
+
+    python benchmarks/bench_fastgen.py                      # smoke (0.02)
+    python benchmarks/bench_fastgen.py --tenx               # + 10x scale
+    python benchmarks/bench_fastgen.py --scale 1.0 --repeats 3
+    python benchmarks/bench_fastgen.py --out BENCH_gen.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import __version__  # noqa: E402
+from repro.obs import peak_rss_bytes  # noqa: E402
+from repro.synth import SimulationConfig  # noqa: E402
+from repro.synth.fastgen import FastMarketSimulator  # noqa: E402
+from repro.synth.marketsim import MarketSimulator  # noqa: E402
+
+SMOKE_SCALE = 0.02
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> tuple:
+    """(best_seconds, all_seconds, last_result) for ``repeats`` calls."""
+    timings: List[float] = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings), timings, result
+
+
+def _counts(result) -> Dict[str, int]:
+    tables = getattr(result.dataset, "tables", None)
+    if tables is not None:
+        return {
+            "contracts": len(tables["c_id"]),
+            "users": len(tables["user_id"]),
+            "posts": len(tables["p_id"]),
+        }
+    return {
+        "contracts": len(result.dataset.contracts),
+        "users": len(result.dataset.users),
+        "posts": len(result.dataset.posts),
+    }
+
+
+def bench_scale(scale: float, seed: int, repeats: int, workers: int) -> dict:
+    config = SimulationConfig(scale=scale, seed=seed, engine="fastgen")
+    engines = {
+        "object": lambda: MarketSimulator(
+            SimulationConfig(scale=scale, seed=seed)
+        ).run(),
+        "fastgen": lambda: FastMarketSimulator(config).run(workers=1),
+        "fastgen-sharded": lambda: FastMarketSimulator(config).run(
+            workers=workers
+        ),
+    }
+    entry: dict = {"scale": scale, "seed": seed, "engines": {}}
+    for name, fn in engines.items():
+        best, timings, result = _best_of(fn, repeats)
+        counts = _counts(result)
+        entry["engines"][name] = {
+            "best_seconds": round(best, 4),
+            "all_seconds": [round(t, 4) for t in timings],
+            "contracts_per_sec": round(counts["contracts"] / best, 1),
+            "users_per_sec": round(counts["users"] / best, 1),
+            **counts,
+        }
+        print(
+            f"  {name:<16s} {best:7.2f}s best of {timings!r:<30s} "
+            f"({counts['contracts']:,} contracts)",
+            file=sys.stderr,
+        )
+    obj = entry["engines"]["object"]["best_seconds"]
+    for name in ("fastgen", "fastgen-sharded"):
+        entry["engines"][name]["speedup_vs_object"] = round(
+            obj / entry["engines"][name]["best_seconds"], 2
+        )
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=SMOKE_SCALE,
+                        help=f"base market scale (default {SMOKE_SCALE})")
+    parser.add_argument("--tenx", action="store_true",
+                        help="also benchmark at 10x the base scale")
+    parser.add_argument("--scales", default=None,
+                        help="comma-separated list of scales to run, "
+                             "overriding --scale/--tenx (e.g. 0.02,0.2,1.0)")
+    parser.add_argument("--seed", type=int, default=99)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timings per engine; best-of is reported")
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="worker processes for the sharded run")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    if args.scales:
+        scales = [float(part) for part in args.scales.split(",") if part]
+    else:
+        scales = [args.scale] + ([args.scale * 10] if args.tenx else [])
+    runs = []
+    for scale in scales:
+        print(f"scale {scale:g}:", file=sys.stderr)
+        runs.append(bench_scale(scale, args.seed, args.repeats, args.workers))
+
+    report = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
+        "repeats": args.repeats,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "runs": runs,
+    }
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(payload, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Generation-benchmark regression gate.
+
+Compares a fresh ``bench_fastgen.py`` report against the committed
+baseline (``benchmarks/gen_baseline.json``) and fails when any engine at
+any scale got more than ``--factor`` times slower (default 2x, absorbing
+the 30-50% wall-clock noise of shared CI machines while still catching
+real regressions).  Entries present in only one report are listed but do
+not fail the gate — adding a scale to the bench must not break CI until
+the baseline is refreshed.
+
+Usage::
+
+    python benchmarks/bench_fastgen.py --tenx --out /tmp/gen_now.json
+    python benchmarks/check_gen_regression.py /tmp/gen_now.json
+    python benchmarks/check_gen_regression.py current.json baseline.json
+    python benchmarks/check_gen_regression.py --update current.json   # refresh
+
+``--update`` copies the current report over the baseline instead of
+checking — run it (and commit the result) after an intentional
+performance change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "gen_baseline.json")
+
+
+def _entries(report: dict) -> dict:
+    """Flatten a bench report to ``{(scale, engine): best_seconds}``."""
+    flat = {}
+    for run in report.get("runs", []):
+        for engine, stats in run.get("engines", {}).items():
+            flat[(run["scale"], engine)] = stats["best_seconds"]
+    return flat
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh bench_fastgen.py JSON report")
+    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                        help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="failure threshold: current > factor * baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the current report")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    with open(args.current, "r", encoding="utf-8") as handle:
+        current = _entries(json.load(handle))
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = _entries(json.load(handle))
+
+    failures = []
+    for key in sorted(baseline):
+        scale, engine = key
+        base = baseline[key]
+        now = current.get(key)
+        if now is None:
+            print(f"  scale {scale:g} {engine}: not in current report (skipped)")
+            continue
+        ratio = now / base if base else float("inf")
+        marker = "FAIL" if ratio > args.factor else "ok"
+        print(f"  scale {scale:g} {engine:<16s} {base:7.2f}s -> {now:7.2f}s "
+              f"(x{ratio:.2f})  {marker}")
+        if ratio > args.factor:
+            failures.append((key, base, now, ratio))
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  scale {key[0]:g} {key[1]}: new entry, no baseline (skipped)")
+
+    if failures:
+        print(f"{len(failures)} regression(s) beyond x{args.factor:g}:",
+              file=sys.stderr)
+        for (scale, engine), base, now, ratio in failures:
+            print(f"  scale {scale:g} {engine}: {base:.2f}s -> {now:.2f}s "
+                  f"(x{ratio:.2f})", file=sys.stderr)
+        return 1
+    print("generation benchmarks within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

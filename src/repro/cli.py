@@ -6,6 +6,7 @@ Usage::
     python -m repro experiment table1 --scale 0.05               # one artefact
     python -m repro experiment all --scale 0.1 --out results/    # everything
     python -m repro report --scale 0.1 --parallel 4              # cached full suite
+    python -m repro report --fast-gen --gen-workers 4 --scale 1  # columnar engine
     python -m repro report --trace --scale 0.05                  # + timing tree/manifest
     python -m repro trace show run_manifest.json                 # render a manifest
     python -m repro summary --data market/                       # dataset overview
@@ -171,6 +172,22 @@ def _market_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=20201027)
     sub.add_argument("--no-posts", action="store_true",
                      help="skip post generation (faster)")
+    sub.add_argument("--fast-gen", action="store_true",
+                     help="generate with the columnar engine "
+                          "(repro.synth.fastgen): vectorized, cohort-"
+                          "sharded, writes straight into the column store")
+    sub.add_argument("--gen-workers", type=int, default=1, metavar="N",
+                     help="fork N processes for cohort-shard generation "
+                          "(--fast-gen only; the dataset is identical at "
+                          "any worker count)")
+
+
+def _engine_overrides(args) -> dict:
+    """Config overrides implied by the generation flags."""
+    overrides = {"generate_posts": not args.no_posts}
+    if getattr(args, "fast_gen", False):
+        overrides["engine"] = "fastgen"
+    return overrides
 
 
 def _load_or_generate(args) -> SimulationResult:
@@ -193,7 +210,8 @@ def _load_or_generate(args) -> SimulationResult:
             scale=args.scale,
             seed=args.seed,
             cache_dir=args.cache_dir,
-            generate_posts=not args.no_posts,
+            gen_workers=getattr(args, "gen_workers", 1),
+            **_engine_overrides(args),
         )
         print(
             f"dataset: {'cache hit' if hit else 'generated and cached'} "
@@ -201,6 +219,19 @@ def _load_or_generate(args) -> SimulationResult:
             file=sys.stderr,
         )
         return result
+    return _generate_direct(args)
+
+
+def _generate_direct(args) -> SimulationResult:
+    if getattr(args, "fast_gen", False):
+        from .synth.fastgen import generate_market_fast
+
+        return generate_market_fast(
+            scale=args.scale,
+            seed=args.seed,
+            workers=getattr(args, "gen_workers", 1),
+            generate_posts=not args.no_posts,
+        )
     return generate_market(
         scale=args.scale, seed=args.seed, generate_posts=not args.no_posts
     )
@@ -208,9 +239,7 @@ def _load_or_generate(args) -> SimulationResult:
 
 def _cmd_generate(args) -> int:
     started = time.time()
-    result = generate_market(
-        scale=args.scale, seed=args.seed, generate_posts=not args.no_posts
-    )
+    result = _generate_direct(args)
     save_dataset(result.dataset, args.out)
     summary = result.dataset.summary()
     print(f"generated {summary['contracts']:,} contracts "
@@ -259,9 +288,7 @@ def _cmd_report(args) -> int:
     run_started_unix = time.time()
     started = time.time()
     if args.no_cache:
-        result = generate_market(
-            scale=args.scale, seed=args.seed, generate_posts=not args.no_posts
-        )
+        result = _generate_direct(args)
         source = "generated (cache disabled)"
     else:
         from .synth.cache import cached_generate
@@ -270,7 +297,8 @@ def _cmd_report(args) -> int:
             scale=args.scale,
             seed=args.seed,
             cache_dir=args.cache_dir,
-            generate_posts=not args.no_posts,
+            gen_workers=args.gen_workers,
+            **_engine_overrides(args),
         )
         source = "cache hit" if hit else "generated and cached"
     print(
@@ -349,6 +377,8 @@ def _cmd_report(args) -> int:
                 "latent_k": args.latent_k,
                 "posts": not args.no_posts,
                 "cache": not args.no_cache,
+                "engine": result.config.engine,
+                "gen_workers": max(1, args.gen_workers),
                 "experiments": len(runs),
             },
             dataset=result.dataset.summary(),

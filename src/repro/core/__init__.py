@@ -26,6 +26,7 @@ from .eras import (
     era_of,
 )
 from .dataset import MarketDataset, UserActivity
+from .lazy import ColumnBackedDataset
 from .csv_export import CSV_FILES, export_csv
 from .io import load_dataset, save_dataset
 from .validate import ValidationIssue, assert_valid, validate_dataset
@@ -54,6 +55,7 @@ __all__ = [
     "era_by_name",
     "era_of",
     "MarketDataset",
+    "ColumnBackedDataset",
     "UserActivity",
     "load_dataset",
     "save_dataset",

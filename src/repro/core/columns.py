@@ -114,6 +114,19 @@ class RatingColumns:
         self.created_us = stamps.astype(np.int64)
         self.month_idx = _month_indexes(stamps)
 
+    @classmethod
+    def from_arrays(cls, store: "ColumnStore", tables: Dict[str, np.ndarray]) -> "RatingColumns":
+        """Build from raw table arrays (cache schema ``r_*`` keys)."""
+        self = cls.__new__(cls)
+        self.n = len(tables["r_contract"])
+        self.contract_id = np.asarray(tables["r_contract"], dtype=np.int64)
+        self.rater_code = store.user_code_array(tables["r_rater"])
+        self.ratee_code = store.user_code_array(tables["r_ratee"])
+        self.score = np.asarray(tables["r_score"], dtype=np.int8)
+        self.created_us = np.asarray(tables["r_created_us"], dtype=np.int64)
+        self.month_idx = _month_indexes(self.created_us.view("datetime64[us]"))
+        return self
+
 
 class PostColumns:
     """Columnar view of the posts table (shares the store's user codes)."""
@@ -127,6 +140,17 @@ class PostColumns:
         stamps = _datetimes64(p.created_at for p in posts)
         self.created_us = stamps.astype(np.int64)
         self.month_idx = _month_indexes(stamps)
+
+    @classmethod
+    def from_arrays(cls, store: "ColumnStore", tables: Dict[str, np.ndarray]) -> "PostColumns":
+        """Build from raw table arrays (cache schema ``p_*`` keys)."""
+        self = cls.__new__(cls)
+        self.n = len(tables["p_author"])
+        self.author_code = store.user_code_array(tables["p_author"])
+        self.is_marketplace = np.asarray(tables["p_marketplace"], dtype=bool)
+        self.created_us = np.asarray(tables["p_created_us"], dtype=np.int64)
+        self.month_idx = _month_indexes(self.created_us.view("datetime64[us]"))
+        return self
 
 
 class ColumnStore:
@@ -153,7 +177,6 @@ class ColumnStore:
         completed = _datetimes64(c.completed_at for c in contracts)
         self.created_us = created.astype(np.int64)
         self.completed_us = completed.astype(np.int64)
-        self.has_completed = ~np.isnat(completed)
         self.maker_id = np.array([c.maker_id for c in contracts], dtype=np.int64)
         self.taker_id = np.array([c.taker_id for c in contracts], dtype=np.int64)
         self.maker_code = self.user_code_array(self.maker_id)
@@ -167,6 +190,45 @@ class ColumnStore:
             [c.thread_id if c.thread_id is not None else -1 for c in contracts],
             dtype=np.int64,
         )
+        self._finalize(created, completed)
+
+    @classmethod
+    def from_tables(cls, dataset, tables: Dict[str, np.ndarray]) -> "ColumnStore":
+        """Build a store straight from raw table arrays — no objects.
+
+        ``tables`` uses the cache column schema (``user_id``/``c_*``/
+        ``p_*``/``r_*`` keys; enum codes index the canonical orders, int64
+        microsecond timestamps with :data:`NAT_US` for missing).  This is
+        the native path of :mod:`repro.synth.fastgen` and of lazily-loaded
+        cache entries: the per-object walk of ``__init__`` is skipped
+        entirely, and the ratings/posts blocks also build from the arrays.
+        """
+        self = cls.__new__(cls)
+        self._dataset = dataset
+        self.n = len(tables["c_id"])
+        self.user_ids = np.unique(np.asarray(tables["user_id"], dtype=np.int64))
+        self.n_users = len(self.user_ids)
+        self.contract_id = np.asarray(tables["c_id"], dtype=np.int64)
+        self.created_us = np.asarray(tables["c_created_us"], dtype=np.int64)
+        self.completed_us = np.asarray(tables["c_completed_us"], dtype=np.int64)
+        self.maker_id = np.asarray(tables["c_maker"], dtype=np.int64)
+        self.taker_id = np.asarray(tables["c_taker"], dtype=np.int64)
+        self.maker_code = self.user_code_array(self.maker_id)
+        self.taker_code = self.user_code_array(self.taker_id)
+        self.ctype = np.asarray(tables["c_type"], dtype=np.int8)
+        self.status = np.asarray(tables["c_status"], dtype=np.int8)
+        self.visibility = np.asarray(tables["c_visibility"], dtype=np.int8)
+        self.thread_id = np.asarray(tables["c_thread"], dtype=np.int64)
+        self._finalize(
+            self.created_us.view("datetime64[us]"),
+            self.completed_us.view("datetime64[us]"),
+        )
+        self._tables = tables
+        return self
+
+    def _finalize(self, created: np.ndarray, completed: np.ndarray) -> None:
+        """Derived columns shared by both constructors (masks, buckets)."""
+        self.has_completed = ~np.isnat(completed)
         self.is_complete = self.status == _STATUS_CODE[ContractStatus.COMPLETE]
         self.is_public = self.visibility == _VIS_CODE[Visibility.PUBLIC]
         self.is_bidirectional = (
@@ -202,6 +264,7 @@ class ColumnStore:
                 self.has_completed, (diff / 1e6) / 3600.0, np.nan
             )
 
+        self._tables: Optional[Dict[str, np.ndarray]] = None
         self._ratings: Optional[RatingColumns] = None
         self._posts: Optional[PostColumns] = None
         self._contract_row: Optional[Dict[int, int]] = None
@@ -243,13 +306,19 @@ class ColumnStore:
     @property
     def ratings(self) -> RatingColumns:
         if self._ratings is None:
-            self._ratings = RatingColumns(self, self._dataset.ratings)
+            if self._tables is not None:
+                self._ratings = RatingColumns.from_arrays(self, self._tables)
+            else:
+                self._ratings = RatingColumns(self, self._dataset.ratings)
         return self._ratings
 
     @property
     def posts(self) -> PostColumns:
         if self._posts is None:
-            self._posts = PostColumns(self, self._dataset.posts)
+            if self._tables is not None:
+                self._posts = PostColumns.from_arrays(self, self._tables)
+            else:
+                self._posts = PostColumns(self, self._dataset.posts)
         return self._posts
 
     # ------------------------------------------------------------------ #

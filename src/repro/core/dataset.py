@@ -251,7 +251,7 @@ class MarketDataset:
         reference implementation.
         """
         count_dispatch(fast)
-        if fast and self.contracts:
+        if fast and len(self):
             import numpy as np
 
             store = self.columns()
@@ -389,7 +389,7 @@ class MarketDataset:
                 np.minimum.at(first_contract, code, created)
                 np.maximum.at(last_active, code, created)
 
-        if self.ratings:
+        if self._has_ratings():
             ratings = store.ratings
             rmask = store.window_mask(ratings.created_us, start, end)
             positive = rmask & (ratings.score > 0)
@@ -401,7 +401,7 @@ class MarketDataset:
                 ratings.ratee_code[negative], minlength=n_users
             )
 
-        if self.posts:
+        if self._has_posts():
             posts = store.posts
             pmask = store.window_mask(posts.created_us, start, end)
             if pmask.any():
@@ -460,7 +460,7 @@ class MarketDataset:
         object pass computing all contract-derived counts together.
         """
         count_dispatch(fast)
-        if fast and self.contracts:
+        if fast and len(self):
             import numpy as np
 
             store = self.columns()
@@ -480,16 +480,34 @@ class MarketDataset:
                 participant_set.add(contract.maker_id)
                 participant_set.add(contract.taker_id)
             participants = len(participant_set)
+        counts = self._entity_counts()
+        return {
+            "users": counts["users"],
+            "contracts": counts["contracts"],
+            "completed_contracts": completed,
+            "public_contracts": public,
+            "threads": counts["threads"],
+            "posts": counts["posts"],
+            "ratings": counts["ratings"],
+            "participants": participants,
+        }
+
+    def _entity_counts(self) -> Dict[str, int]:
+        """Entity-table sizes; overridden by column-backed datasets so
+        counting never forces object materialization."""
         return {
             "users": len(self.users),
             "contracts": len(self.contracts),
-            "completed_contracts": completed,
-            "public_contracts": public,
             "threads": len(self.threads),
             "posts": len(self.posts),
             "ratings": len(self.ratings),
-            "participants": participants,
         }
+
+    def _has_ratings(self) -> bool:
+        return len(self.ratings) > 0
+
+    def _has_posts(self) -> bool:
+        return len(self.posts) > 0
 
     def subset(self, contracts: Iterable[Contract]) -> "MarketDataset":
         """A new dataset sharing users/threads/posts but restricted contracts.

@@ -308,9 +308,11 @@ class ObjectLoopInKernel(Rule):
     """R004 object-loop-in-kernel: columnar kernels must not fall back to
     per-object Python loops.
 
-    A *columnar kernel* — a function whose name ends in ``_columnar`` or
+    A *columnar kernel* — a function whose name ends in ``_columnar``,
     that carries the ``@columnar_kernel`` decorator from
-    :mod:`repro.core.columns` — promises to compute on the
+    :mod:`repro.core.columns`, or that lives in an all-columnar module
+    (:mod:`repro.synth.fastgen`, where the whole point is generating
+    into arrays) — promises to compute on the
     :class:`~repro.core.columns.ColumnStore` arrays.  A ``for`` loop (or
     comprehension) over the entity lists ``.contracts`` / ``.posts`` /
     ``.users`` inside one re-introduces the interpreted per-object walk
@@ -325,10 +327,14 @@ class ObjectLoopInKernel(Rule):
     scope = ("src",)
 
     _ENTITY_LISTS = {"contracts", "posts", "users"}
+    #: Modules where *every* function is held to the kernel contract.
+    _KERNEL_MODULES = ("src/repro/synth/fastgen.py",)
 
-    def _is_kernel(self, node: ast.AST) -> bool:
+    def _is_kernel(self, node: ast.AST, module_is_kernel: bool = False) -> bool:
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             return False
+        if module_is_kernel:
+            return True
         if node.name.endswith("_columnar"):
             return True
         for deco in node.decorator_list:
@@ -353,8 +359,9 @@ class ObjectLoopInKernel(Rule):
         return None
 
     def visit(self, source):  # noqa: ANN001
+        module_is_kernel = source.path in self._KERNEL_MODULES
         for func in ast.walk(source.tree):
-            if not self._is_kernel(func):
+            if not self._is_kernel(func, module_is_kernel):
                 continue
             for node in ast.walk(func):
                 iters: List[ast.AST] = []

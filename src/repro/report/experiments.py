@@ -9,10 +9,7 @@ single code path regenerates everything the paper reports.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -47,7 +44,8 @@ from ..blockchain.verify import verify_high_value_contracts
 from ..core.entities import ContractType
 from ..network.degrees import dataset_degree_distributions, degree_growth
 from ..network.powerlaw import fit_power_law
-from ..obs.tracer import Tracer, get_tracer, set_tracer, tracing_enabled
+from ..obs.tracer import get_tracer
+from ..robust.parallel import forked_map
 from ..robust.retry import RetryPolicy, run_with_policy
 from ..synth.marketsim import SimulationResult
 from .figures import render_series, sparkline
@@ -939,22 +937,6 @@ def _run_one(experiment_id: str) -> ExperimentRun:
     )
 
 
-def _run_one_forked(experiment_id: str) -> ExperimentRun:
-    """Forked-child entry point: isolate telemetry in a fresh tracer.
-
-    A forked worker inherits the parent's enabled tracer copy-on-write,
-    but its mutations never flow back.  Install a fresh :class:`Tracer`,
-    run, and ship the picklable snapshot home on ``run.trace`` for
-    :meth:`Tracer.merge_child`; ``None`` when tracing is disabled.
-    """
-    if tracing_enabled():
-        set_tracer(Tracer())
-        run = _run_one(experiment_id)
-        run.trace = get_tracer().snapshot()
-        return run
-    return _run_one(experiment_id)
-
-
 def run_all_experiments(
     ctx: ExperimentContext,
     experiment_ids: Optional[Sequence[str]] = None,
@@ -1003,27 +985,20 @@ def run_all_experiments(
     if unknown:
         raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
 
-    tracer = get_tracer()
     global _WORKER_CTX, _WORKER_POLICY
     _WORKER_CTX = ctx
     _WORKER_POLICY = policy
     try:
-        if parallel > 1 and "fork" in multiprocessing.get_all_start_methods():
-            with tracer.span("experiments.parallel"):
-                try:
-                    with ProcessPoolExecutor(
-                        max_workers=parallel,
-                        mp_context=multiprocessing.get_context("fork"),
-                    ) as pool:
-                        runs = list(pool.map(_run_one_forked, wanted))
-                except BrokenProcessPool:
-                    tracer.count("experiments.pool_broken")
-                    runs = [_run_one(experiment_id) for experiment_id in wanted]
-                for run in runs:
-                    if run.trace is not None:
-                        tracer.merge_child(run.trace)
-        else:
-            runs = [_run_one(experiment_id) for experiment_id in wanted]
+        runs, traces = forked_map(
+            _run_one,
+            wanted,
+            workers=parallel,
+            span="experiments.parallel",
+            broken_counter="experiments.pool_broken",
+            return_traces=True,
+        )
+        for run, trace in zip(runs, traces):
+            run.trace = trace
     finally:
         _WORKER_CTX = None
         _WORKER_POLICY = None

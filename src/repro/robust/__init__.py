@@ -13,6 +13,9 @@ degradation primitives that the dataset cache
   concurrent processes generating the same dataset do the work once;
 * :mod:`repro.robust.retry` — configurable retry policies with
   exponential backoff and a structured :class:`RetryOutcome`;
+* :mod:`repro.robust.parallel` — the shared fork-pool mapper
+  (:func:`forked_map`): tracer snapshots shipped home from children,
+  serial fallback when the pool breaks;
 * :mod:`repro.robust.timeout` — best-effort per-call wall-time limits
   (``SIGALRM``-based, no-op where unsupported);
 * :mod:`repro.robust.quarantine` — corrupt cache entries are moved to
@@ -35,6 +38,7 @@ from .crashpoints import (
     disarm_crash_point,
 )
 from .locks import FileLock, LockTimeout
+from .parallel import forked_map
 from .quarantine import quarantine_dir, quarantined_siblings
 from .retry import FATAL_EXCEPTIONS, RetryOutcome, RetryPolicy, run_with_policy
 from .timeout import TimeoutExceeded, time_limit, timeout_supported
@@ -52,6 +56,7 @@ __all__ = [
     "disarm_crash_point",
     "FileLock",
     "LockTimeout",
+    "forked_map",
     "quarantine_dir",
     "quarantined_siblings",
     "FATAL_EXCEPTIONS",

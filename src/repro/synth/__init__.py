@@ -16,8 +16,9 @@ from .marketsim import (
     SimulationTruth,
     generate_market,
 )
+from .fastgen import FastMarketSimulator, generate_market_fast
 from .obligations import ObligationGenerator, ObligationSpec
-from .population import ClassRoster, Population
+from .population import AliasSampler, ArrayPopulation, ClassRoster, Population
 from .calibration import CalibrationCheck, CalibrationReport, score_calibration
 from .scenarios import (
     flat_market_scenario,
@@ -38,8 +39,12 @@ __all__ = [
     "SimulationResult",
     "SimulationTruth",
     "generate_market",
+    "FastMarketSimulator",
+    "generate_market_fast",
     "ObligationGenerator",
     "ObligationSpec",
+    "AliasSampler",
+    "ArrayPopulation",
     "ClassRoster",
     "Population",
     "CalibrationCheck",

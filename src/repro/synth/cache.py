@@ -48,6 +48,7 @@ from ..blockchain.chain import ChainTransaction, Ledger
 from ..blockchain.rates import RateOracle
 from ..core.columns import NAT_US, datetime_from_us
 from ..core.dataset import MarketDataset
+from ..core.lazy import ColumnBackedDataset
 from ..core.entities import (
     Contract,
     ContractStatus,
@@ -158,6 +159,14 @@ def _int_column(values, sentinel: int = -1) -> np.ndarray:
 
 def _columns_of(result: SimulationResult) -> Dict[str, np.ndarray]:
     dataset = result.dataset
+    if isinstance(dataset, ColumnBackedDataset):
+        # Columnar engine: the tables already *are* the cache schema.
+        # Object-dtype string columns (cheap pointer copies in memory)
+        # must become fixed-width unicode so the npz stays pickle-free.
+        return {
+            key: (col.astype(np.str_) if col.dtype == object else col)
+            for key, col in dataset.tables.items()
+        }
     users, contracts = dataset.users, dataset.contracts
     threads, posts, ratings = dataset.threads, dataset.posts, dataset.ratings
     transactions = list(result.ledger)
@@ -262,9 +271,36 @@ def save_result(result: SimulationResult, cache_dir: Optional[str] = None) -> st
     return entry
 
 
+def _ledger_from_columns(cols: Dict[str, np.ndarray]) -> Ledger:
+    ledger = Ledger()
+    for i in range(len(cols["x_txhash"])):
+        ledger.add(
+            ChainTransaction(
+                txhash=str(cols["x_txhash"][i]),
+                address=str(cols["x_address"][i]),
+                timestamp=_when(int(cols["x_timestamp_us"][i])),
+                btc_amount=float(cols["x_btc"][i]),
+            )
+        )
+    return ledger
+
+
 def _load_columns(entry: str, config: SimulationConfig) -> SimulationResult:
     with np.load(os.path.join(entry, "data.npz")) as data:
         cols = {key: data[key] for key in data.files}
+
+    if config.engine == "fastgen":
+        # Columnar engine: hand the arrays straight back as a lazy view —
+        # no object materialization on load.  The table dict mirrors what
+        # :func:`repro.synth.fastgen._merge_shards` produced (x_* ledger
+        # columns included), so a load→save round-trip is key-identical.
+        return SimulationResult(
+            dataset=ColumnBackedDataset(cols),
+            ledger=_ledger_from_columns(cols),
+            rates=RateOracle(),
+            truth=SimulationTruth(),
+            config=config,
+        )
 
     users = [
         User(
@@ -328,16 +364,7 @@ def _load_columns(entry: str, config: SimulationConfig) -> SimulationResult:
         )
         for i in range(len(cols["r_contract"]))
     ]
-    ledger = Ledger()
-    for i in range(len(cols["x_txhash"])):
-        ledger.add(
-            ChainTransaction(
-                txhash=str(cols["x_txhash"][i]),
-                address=str(cols["x_address"][i]),
-                timestamp=_when(int(cols["x_timestamp_us"][i])),
-                btc_amount=float(cols["x_btc"][i]),
-            )
-        )
+    ledger = _ledger_from_columns(cols)
     dataset = MarketDataset(
         users=users, contracts=contracts, threads=threads, posts=posts, ratings=ratings
     )
@@ -422,6 +449,7 @@ def cached_generate(
     cache_dir: Optional[str] = None,
     refresh: bool = False,
     lock_timeout: Optional[float] = 600.0,
+    gen_workers: int = 1,
     **overrides,
 ) -> Tuple[SimulationResult, bool]:
     """Generate a market through the cache.
@@ -430,6 +458,13 @@ def cached_generate(
     disk.  ``refresh`` forces regeneration (and rewrites the entry).  The
     cached result carries an empty :class:`SimulationTruth` — analyses
     never read truth, only calibration tests do, and those generate fresh.
+
+    ``gen_workers`` is a *runtime* knob for the ``engine="fastgen"``
+    path: how many forked processes generate the cohort shards.  It is
+    deliberately **not** part of the config fingerprint — the columnar
+    engine shards by ``config.n_cohorts`` regardless of worker count, so
+    the same config produces byte-identical tables (and hits the same
+    cache entry) at any worker count.
 
     Concurrency: before generating, an advisory ``<entry>.lock`` file
     lock is taken (waiting up to ``lock_timeout`` seconds) and the cache
@@ -465,7 +500,12 @@ def cached_generate(
                 tracer.count("cache.hits")
                 return cached, True
         tracer.count("cache.misses")
-        result = MarketSimulator(config).run()
+        if config.engine == "fastgen":
+            from .fastgen import FastMarketSimulator
+
+            result = FastMarketSimulator(config).run(workers=gen_workers)
+        else:
+            result = MarketSimulator(config).run()
         with tracer.span("cache.save"):
             save_result(result, cache_dir)
         return result, False

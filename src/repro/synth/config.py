@@ -560,6 +560,13 @@ class SimulationConfig:
     thread_link_prob: float = THREAD_LINK_PROB
     generate_posts: bool = True
     generate_threads: bool = True
+    #: Generation engine: "object" (MarketSimulator) or "fastgen" (the
+    #: columnar engine in :mod:`repro.synth.fastgen`).
+    engine: str = "object"
+    #: Cohort count for the fastgen engine.  Structural — part of the
+    #: config fingerprint — so shard boundaries (and hence the dataset)
+    #: never depend on how many worker processes happen to run.
+    n_cohorts: int = 4
 
     def class_weight(self, name: str, era_index: int, fraction: float) -> float:
         """Population weight of class ``name`` at ``fraction`` through era."""
@@ -568,6 +575,10 @@ class SimulationConfig:
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        if self.engine not in ("object", "fastgen"):
+            raise ValueError(f"unknown engine: {self.engine!r}")
+        if self.n_cohorts < 1:
+            raise ValueError("n_cohorts must be >= 1")
 
 
 #: Full-scale default configuration.

@@ -52,7 +52,15 @@ from .config import SimulationConfig, interpolate_curve
 from .obligations import ObligationGenerator, ObligationSpec
 from .population import Population
 
-__all__ = ["SimulationTruth", "SimulationResult", "MarketSimulator", "generate_market"]
+__all__ = [
+    "SimulationTruth",
+    "SimulationResult",
+    "MarketSimulator",
+    "generate_market",
+    "era_position",
+    "status_probs",
+    "class_probs",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -72,6 +80,81 @@ _STATUSES = (
     ContractStatus.DENIED,
     ContractStatus.EXPIRED,
 )
+
+
+def era_position(month: Month) -> Tuple[int, float]:
+    """Era index and within-era fraction for a month (by its 15th).
+
+    Shared by the object simulator and :mod:`repro.synth.fastgen` so both
+    engines see identical era schedules.
+    """
+    mid = _dt.date(month.year, month.month, 15)
+    era = era_of(mid)
+    if era is None:
+        era = ERAS[0] if mid < ERAS[0].start else ERAS[-1]
+    era_index = ERAS.index(era)
+    era_months = era.months()
+    position = month.index_from(era_months[0])
+    span = max(1, len(era_months) - 1)
+    return era_index, min(1.0, max(0.0, position / span))
+
+
+def status_probs(ctype: ContractType, dispute_modifier: float) -> np.ndarray:
+    """Status distribution over ``_STATUSES`` for one (type, month).
+
+    Applies the month's dispute modifier and pre-inflates COMPLETE to
+    compensate for non-completer demotions, pulling the extra mass
+    proportionally from the failure statuses.
+    """
+    base = cfg.STATUS_PROBS[ctype]
+    probs = np.asarray([base[s] for s in _STATUSES], dtype=float)
+    disputed_index = _STATUSES.index(ContractStatus.DISPUTED)
+    probs[disputed_index] *= dispute_modifier
+    complete_index = _STATUSES.index(ContractStatus.COMPLETE)
+    extra = probs[complete_index] * (cfg.COMPLETION_INFLATION[ctype] - 1.0)
+    failure = [
+        _STATUSES.index(s)
+        for s in (
+            ContractStatus.INCOMPLETE,
+            ContractStatus.CANCELLED,
+            ContractStatus.EXPIRED,
+        )
+    ]
+    failure_mass = probs[failure].sum()
+    if failure_mass > extra:
+        probs[complete_index] += extra
+        for index in failure:
+            probs[index] -= extra * probs[index] / failure_mass
+    return probs / probs.sum()
+
+
+def class_probs(
+    config: SimulationConfig,
+    table: Dict[str, Dict[ContractType, float]],
+    ctype: ContractType,
+    era_index: int,
+    era_fraction: float,
+) -> np.ndarray:
+    """Behavioural-class distribution for one (rate table, type, month)."""
+    weights = np.asarray(
+        [
+            config.class_weight(name, era_index, era_fraction)
+            * table[name][ctype]
+            for name in cfg.CLASS_NAMES
+        ],
+        dtype=float,
+    )
+    total = weights.sum()
+    if total <= 0:  # fall back to population weights alone
+        weights = np.asarray(
+            [
+                config.class_weight(name, era_index, era_fraction)
+                for name in cfg.CLASS_NAMES
+            ],
+            dtype=float,
+        )
+        total = weights.sum()
+    return weights / total
 
 
 @dataclass
@@ -191,15 +274,7 @@ class MarketSimulator:
 
     def _era_position(self, month: Month) -> Tuple[int, float]:
         """Era index and within-era fraction for a month (by its 15th)."""
-        mid = _dt.date(month.year, month.month, 15)
-        era = era_of(mid)
-        if era is None:
-            era = ERAS[0] if mid < ERAS[0].start else ERAS[-1]
-        era_index = ERAS.index(era)
-        era_months = era.months()
-        position = month.index_from(era_months[0])
-        span = max(1, len(era_months) - 1)
-        return era_index, min(1.0, max(0.0, position / span))
+        return era_position(month)
 
     def _type_shares(self, month: Month) -> np.ndarray:
         shares = np.asarray(
@@ -211,29 +286,7 @@ class MarketSimulator:
         return shares / total
 
     def _status_probs(self, ctype: ContractType, month: Month) -> np.ndarray:
-        base = cfg.STATUS_PROBS[ctype]
-        probs = np.asarray([base[s] for s in _STATUSES], dtype=float)
-        modifier = self._dispute_curve[month]
-        disputed_index = _STATUSES.index(ContractStatus.DISPUTED)
-        probs[disputed_index] *= modifier
-        # Pre-inflate COMPLETE to compensate for non-completer demotions,
-        # pulling the extra mass proportionally from the failure statuses.
-        complete_index = _STATUSES.index(ContractStatus.COMPLETE)
-        extra = probs[complete_index] * (cfg.COMPLETION_INFLATION[ctype] - 1.0)
-        failure = [
-            _STATUSES.index(s)
-            for s in (
-                ContractStatus.INCOMPLETE,
-                ContractStatus.CANCELLED,
-                ContractStatus.EXPIRED,
-            )
-        ]
-        failure_mass = probs[failure].sum()
-        if failure_mass > extra:
-            probs[complete_index] += extra
-            for index in failure:
-                probs[index] -= extra * probs[index] / failure_mass
-        return probs / probs.sum()
+        return status_probs(ctype, self._dispute_curve[month])
 
     def _class_probs(
         self,
@@ -242,25 +295,7 @@ class MarketSimulator:
         era_index: int,
         era_fraction: float,
     ) -> np.ndarray:
-        weights = np.asarray(
-            [
-                self.config.class_weight(name, era_index, era_fraction)
-                * table[name][ctype]
-                for name in cfg.CLASS_NAMES
-            ],
-            dtype=float,
-        )
-        total = weights.sum()
-        if total <= 0:  # fall back to population weights alone
-            weights = np.asarray(
-                [
-                    self.config.class_weight(name, era_index, era_fraction)
-                    for name in cfg.CLASS_NAMES
-                ],
-                dtype=float,
-            )
-            total = weights.sum()
-        return weights / total
+        return class_probs(self.config, table, ctype, era_index, era_fraction)
 
     def _resolve_class_members(
         self,
@@ -635,7 +670,7 @@ class MarketSimulator:
         thread_weights = np.asarray(self._thread_use, dtype=float) + 1.0
         thread_probs = thread_weights / thread_weights.sum()
         for name, roster in self._population.rosters.items():
-            if not roster.user_ids:
+            if not len(roster):
                 continue
             tier = cfg.CLASS_TIERS[name]
             lam = cfg.POSTS_PER_MONTH[tier]
@@ -653,7 +688,7 @@ class MarketSimulator:
                         Post(
                             post_id=self._next_post_id,
                             thread_id=self._threads[int(thread_picks[cursor])].thread_id,
-                            author_id=user_id,
+                            author_id=int(user_id),
                             created_at=month_start
                             + _dt.timedelta(seconds=float(offsets[cursor])),
                             is_marketplace=bool(marketplace[cursor]),

@@ -230,6 +230,25 @@ class TestObjectLoopInKernel:
         )
         assert findings == []
 
+    def test_flags_plain_function_in_fastgen_module(self):
+        # Every function in the columnar engine is held to the kernel
+        # contract, no naming convention or decorator needed.
+        findings = lint_one(
+            "def helper(ds):\n"
+            "    return [c.maker_id for c in ds.contracts]\n",
+            path="src/repro/synth/fastgen.py",
+        )
+        assert rule_ids(findings) == ["R004"]
+
+    def test_allows_array_code_in_fastgen_module(self):
+        findings = lint_one(
+            "import numpy as np\n"
+            "def helper(tables):\n"
+            "    return np.bincount(tables['c_type'])\n",
+            path="src/repro/synth/fastgen.py",
+        )
+        assert findings == []
+
     def test_allows_array_code_in_kernel(self):
         findings = lint_one(
             "import numpy as np\n"

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.timeutils import Month
 from repro.synth import config as cfg
-from repro.synth.population import Population
+from repro.synth.population import AliasSampler, ArrayPopulation, Population
 
 
 @pytest.fixture()
@@ -111,3 +111,130 @@ class TestRosterLifecycle:
         joined = [population.users[i].joined_forum_at for i in range(len(population.users))]
         spans = [(Month(2018, 6).first_day() - j.date()).days for j in joined]
         assert max(spans) > 100  # SET-UP users predate the contract system
+
+_MONTH_US = 0  # month_first_day_us only shifts join timestamps
+
+
+class TestAliasSampler:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasSampler(np.empty(0))
+
+    def test_draws_match_weights(self):
+        rng = np.random.default_rng(0)
+        weights = np.asarray([1.0, 2.0, 7.0])
+        sampler = AliasSampler(weights)
+        draws = sampler.draw(rng, 100_000)
+        freq = np.bincount(draws, minlength=3) / len(draws)
+        assert np.allclose(freq, weights / weights.sum(), atol=0.01)
+
+    def test_uniform_weights(self):
+        rng = np.random.default_rng(1)
+        sampler = AliasSampler(np.ones(5))
+        draws = sampler.draw(rng, 50_000)
+        freq = np.bincount(draws, minlength=5) / len(draws)
+        assert np.allclose(freq, 0.2, atol=0.01)
+
+    def test_deterministic_given_rng(self):
+        weights = np.asarray([3.0, 1.0, 2.0])
+        a = AliasSampler(weights).draw(np.random.default_rng(7), 100)
+        b = AliasSampler(weights).draw(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
+
+
+class TestArrayPopulation:
+    def _pop(self, seed=0):
+        return ArrayPopulation(np.random.default_rng(seed))
+
+    def test_acquire_returns_count_indices(self):
+        pop = self._pop()
+        ids = pop.acquire("C", 20, 0, _MONTH_US, 0, 0.0)
+        assert len(ids) == 20
+        assert pop.n_users >= 1
+        code = cfg.CLASS_NAMES.index("C")
+        assert np.all(pop.class_code[ids] == code)
+
+    def test_acquire_zero_is_empty(self):
+        pop = self._pop()
+        assert len(pop.acquire("C", 0, 0, _MONTH_US, 0, 0.0)) == 0
+
+    def test_power_tier_reuses_heavily(self):
+        pop = self._pop()
+        for month_index in range(6):
+            pop.begin_month(month_index)
+            pop.acquire("K", 50, month_index, _MONTH_US, 0, 0.5)
+        k_users = int((pop.class_code == cfg.CLASS_NAMES.index("K")).sum())
+        assert k_users < 60  # 300 slots served by few distinct users
+
+    def test_single_tier_churns(self):
+        pop = self._pop()
+        for month_index in range(6):
+            pop.begin_month(month_index)
+            pop.acquire("C", 50, month_index, _MONTH_US, 0, 0.5)
+        c_users = int((pop.class_code == cfg.CLASS_NAMES.index("C")).sum())
+        assert c_users > 60
+
+    def test_attachment_concentrates_activity(self):
+        pop = ArrayPopulation(np.random.default_rng(1), attachment_alpha=1.0)
+        counts = {}
+        for month_index in range(8):
+            pop.begin_month(month_index)
+            for user in pop.acquire("L", 40, month_index, _MONTH_US, 1, 0.5):
+                counts[int(user)] = counts.get(int(user), 0) + 1
+        assert max(counts.values()) > 320 / len(counts)
+
+    def test_bootstrap_spawns_only_binomial_share(self):
+        # On an empty roster the "reuse" draws come from the fresh batch
+        # instead of forcing an all-new spawn: a sharded run bootstraps
+        # every cohort, and per-cohort all-spawn batches would inflate
+        # the population with the cohort count.
+        pop = ArrayPopulation(np.random.default_rng(2))
+        ids = pop.acquire("K", 40, 0, _MONTH_US, 0, 0.9)
+        assert len(ids) == 40
+        assert pop.n_users < 30  # far fewer distinct users than slots
+
+    def test_cull_removes_expired(self):
+        pop = self._pop()
+        pop.acquire("C", 30, 0, _MONTH_US, 0, 0.0)
+        before = len(pop.rosters["C"])
+        pop.begin_month(50)  # far future: everyone expired
+        assert len(pop.rosters["C"]) < before
+
+    def test_cull_noop_when_nothing_expired(self):
+        pop = self._pop()
+        pop.acquire("C", 30, 0, _MONTH_US, 0, 0.0)
+        roster = pop.rosters["C"]
+        ids_before = roster.user_ids.copy()
+        pop.begin_month(0)  # minimum expiry is month 1: everyone alive
+        assert np.array_equal(roster.user_ids, ids_before)
+
+    def test_resolve_collisions_replaces_self_deals(self):
+        pop = self._pop()
+        ids = pop.acquire("C", 10, 0, _MONTH_US, 0, 0.0)
+        maker = ids[:5].copy()
+        taker = maker.copy()  # every row collides
+        taker_class = np.full(5, cfg.CLASS_NAMES.index("C"), dtype=np.int8)
+        fixed = pop.resolve_collisions(maker, taker, taker_class, 0, _MONTH_US, 0)
+        assert not np.any(fixed == maker)
+
+    def test_non_completer_power_exempt(self):
+        pop = self._pop(seed=2)
+        pop.acquire("K", 200, 0, _MONTH_US, 0, 0.0)
+        k_rows = pop.class_code == cfg.CLASS_NAMES.index("K")
+        assert not pop.non_completer[k_rows].any()
+
+    def test_scam_propensity_in_range(self):
+        pop = self._pop()
+        pop.acquire("C", 50, 0, _MONTH_US, 0, 0.0)
+        assert np.all(pop.scam_propensity >= 0.0)
+        assert np.all(pop.scam_propensity < 1.0)
+
+    def test_deterministic_per_seed(self):
+        runs = []
+        for _ in range(2):
+            pop = ArrayPopulation(np.random.default_rng(5))
+            batches = [
+                pop.acquire("C", 25, m, _MONTH_US, 0, 0.3) for m in range(4)
+            ]
+            runs.append(np.concatenate(batches))
+        assert np.array_equal(runs[0], runs[1])
