@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults lint docscheck typecheck bench bench-smoke bench-gen-smoke reproduce reproduce-full clean
+.PHONY: install test test-faults lint docscheck typecheck bench bench-smoke bench-gen-smoke bench-stream bench-stream-smoke reproduce reproduce-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -51,6 +51,21 @@ bench-gen-smoke:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) benchmarks/check_gen_regression.py \
 		BENCH_gen_smoke.json
 
+# Resident-vs-partitioned query benchmark: wall time + peak RSS (each
+# scenario in its own forked child) for full-history and single-era
+# queries.  The smoke variant only asserts the era query opens exactly
+# the era's month partitions and never exceeds resident RSS — the 50%
+# RSS bar is meaningful only at paper scale, where the dataset (not the
+# interpreter footprint) dominates; `make bench-stream` enforces it and
+# refreshes the committed BENCH_stream.json.
+bench-stream-smoke:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) benchmarks/bench_stream.py \
+		--check --rss-budget 1.0 --out BENCH_stream_smoke.json
+
+bench-stream:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) benchmarks/bench_stream.py \
+		--scale 1.0 --check --out BENCH_stream.json
+
 reproduce:
 	$(PYTHON) examples/reproduce_paper.py --scale 0.05 --out reproduction_results
 
@@ -58,5 +73,5 @@ reproduce-full:
 	$(PYTHON) examples/reproduce_paper.py --scale 1.0 --out reproduction_fullscale
 
 clean:
-	rm -rf reproduction_results benchmarks/results .pytest_cache BENCH_gen_smoke.json
+	rm -rf reproduction_results benchmarks/results .pytest_cache BENCH_gen_smoke.json BENCH_stream_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -46,6 +46,45 @@ from repro.synth.marketsim import MarketSimulator  # noqa: E402
 SMOKE_SCALE = 0.02
 
 
+def _forked_peak_rss(fn: Callable[[], object]) -> int:
+    """Peak RSS (bytes) of one ``fn()`` call, measured in a forked child.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so measuring in
+    this process would report whichever earlier engine allocated the
+    most.  A fresh child starts from the parent's (small) footprint and
+    its maximum is dominated by ``fn`` itself.  Returns 0 when the
+    child fails or the platform cannot fork.
+    """
+    if not hasattr(os, "fork"):
+        return 0
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        status = 1
+        try:
+            os.close(read_fd)
+            fn()
+            rss = peak_rss_bytes() or 0
+            os.write(write_fd, str(int(rss)).encode("ascii"))
+            status = 0
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    try:
+        payload = b""
+        while True:
+            chunk = os.read(read_fd, 64)
+            if not chunk:
+                break
+            payload += chunk
+    finally:
+        os.close(read_fd)
+    _, status = os.waitpid(pid, 0)
+    if status != 0 or not payload:
+        return 0
+    return int(payload)
+
+
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple:
     """(best_seconds, all_seconds, last_result) for ``repeats`` calls."""
     timings: List[float] = []
@@ -87,16 +126,19 @@ def bench_scale(scale: float, seed: int, repeats: int, workers: int) -> dict:
     for name, fn in engines.items():
         best, timings, result = _best_of(fn, repeats)
         counts = _counts(result)
+        rss = _forked_peak_rss(fn)
         entry["engines"][name] = {
             "best_seconds": round(best, 4),
             "all_seconds": [round(t, 4) for t in timings],
             "contracts_per_sec": round(counts["contracts"] / best, 1),
             "users_per_sec": round(counts["users"] / best, 1),
+            "peak_rss_bytes": rss,
             **counts,
         }
         print(
             f"  {name:<16s} {best:7.2f}s best of {timings!r:<30s} "
-            f"({counts['contracts']:,} contracts)",
+            f"({counts['contracts']:,} contracts, "
+            f"{rss / 2**20:.0f} MB peak)",
             file=sys.stderr,
         )
     obj = entry["engines"]["object"]["best_seconds"]

@@ -1,0 +1,324 @@
+"""Benchmark: resident dataset vs the month-partitioned store.
+
+Answers the question the partitioned store exists for: what does a
+query cost when it *doesn't* have to materialize the full history?
+Four scenarios, each a cold process against a pre-warmed cache —
+
+* ``resident-full``     — ``cached_generate`` loads the resident
+  columnar entry, then runs the full-history funnel + monthly growth;
+* ``partitioned-full``  — ``cached_partitioned_store`` opens the
+  partitioned entry and folds the same two questions through the
+  incremental kernels (all months opened, but shards are memory-mapped
+  one at a time);
+* ``resident-era``      — resident load, single-era funnel (the
+  resident path must still materialize all 25 months to answer it);
+* ``partitioned-era``   — era-masked :class:`FunnelKernel` folded over
+  only the era's month partitions (4 shards for COVID-19).
+
+Peak RSS is the honest metric here and ``ru_maxrss`` is a
+process-lifetime high-water mark, so every scenario runs in its own
+forked child: the parent stays small (caches are also warmed in
+children) and each child's maximum is dominated by its scenario alone.
+Wall-clock includes the cache *load*, not generation — both caches are
+built before measurement, so the numbers compare query paths, not
+engines.
+
+``make bench-stream-smoke`` runs this at smoke scale and writes
+``BENCH_stream.json``; ``--check`` additionally enforces the
+acceptance bar — the single-era partitioned query must stay within
+``--rss-budget`` (default 50%) of the resident single-era peak RSS
+while opening exactly the era's months and no others.
+
+Usage::
+
+    python benchmarks/bench_stream.py                      # smoke (0.05)
+    python benchmarks/bench_stream.py --scale 1.0 --check
+    python benchmarks/bench_stream.py --out BENCH_stream.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from typing import Callable, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import __version__  # noqa: E402
+from repro.obs import enable_tracing, peak_rss_bytes  # noqa: E402
+
+SMOKE_SCALE = 0.05
+DEFAULT_ERA = "COVID-19"
+
+
+def _in_child(fn: Callable[[], dict]) -> Optional[dict]:
+    """Run ``fn`` in a forked child; return its result dict plus RSS.
+
+    The child serialises ``fn()``'s dict (augmented with its own
+    ``peak_rss_bytes``) over a pipe.  Returns None when the platform
+    cannot fork or the child fails — callers treat that scenario as
+    unmeasured rather than crashing the whole bench.
+    """
+    if not hasattr(os, "fork"):
+        return None
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        status = 1
+        try:
+            os.close(read_fd)
+            payload = fn()
+            payload["peak_rss_bytes"] = peak_rss_bytes() or 0
+            os.write(write_fd, json.dumps(payload).encode("utf-8"))
+            status = 0
+        except BaseException as exc:  # pragma: no cover - diagnostics only
+            try:
+                os.write(write_fd, json.dumps(
+                    {"error": f"{type(exc).__name__}: {exc}"}
+                ).encode("utf-8"))
+            except Exception:
+                pass
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    try:
+        chunks = []
+        while True:
+            chunk = os.read(read_fd, 1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    finally:
+        os.close(read_fd)
+    _, status = os.waitpid(pid, 0)
+    payload = b"".join(chunks)
+    if not payload:
+        return None
+    result = json.loads(payload)
+    if status != 0 or "error" in result:
+        print(f"  child failed: {result.get('error', status)}",
+              file=sys.stderr)
+        return None
+    return result
+
+
+def _warm_caches(scale: float, seed: int, cache_dir: str) -> None:
+    """Build both cache entries (in children, keeping the parent small)."""
+
+    def warm_resident() -> dict:
+        from repro.synth.cache import cached_generate
+
+        _, hit = cached_generate(scale=scale, seed=seed, cache_dir=cache_dir,
+                                 engine="fastgen")
+        return {"cache_hit": hit}
+
+    def warm_partitioned() -> dict:
+        from repro.synth.cache import cached_partitioned_store
+
+        _, hit = cached_partitioned_store(scale=scale, seed=seed,
+                                          cache_dir=cache_dir,
+                                          engine="fastgen")
+        return {"cache_hit": hit}
+
+    for name, fn in (("resident", warm_resident),
+                     ("partitioned", warm_partitioned)):
+        result = _in_child(fn)
+        if result is None:
+            # No fork (or the child died): warm inline as a fallback so
+            # measurement still compares cache hits, just less cleanly.
+            fn()
+            print(f"  warmed {name} cache inline (no fork)", file=sys.stderr)
+        else:
+            state = "hit" if result.get("cache_hit") else "built"
+            print(f"  warmed {name} cache ({state})", file=sys.stderr)
+
+
+def _resident_scenario(scale: float, seed: int, cache_dir: str,
+                       era: Optional[str]) -> Callable[[], dict]:
+    def run() -> dict:
+        from repro.analysis.funnel import contract_funnel, funnel_by_era
+        from repro.analysis.monthly import monthly_growth
+        from repro.synth.cache import cached_generate
+
+        started = time.perf_counter()
+        result, hit = cached_generate(scale=scale, seed=seed,
+                                      cache_dir=cache_dir, engine="fastgen")
+        dataset = result.dataset
+        if era is not None:
+            funnel = funnel_by_era(dataset)[era]
+        else:
+            funnel = contract_funnel(dataset)
+            monthly_growth(dataset)
+        return {
+            "seconds": round(time.perf_counter() - started, 4),
+            "cache_hit": hit,
+            "contracts_seen": funnel.total_proposed,
+        }
+
+    return run
+
+
+def _partitioned_scenario(scale: float, seed: int, cache_dir: str,
+                          era: Optional[str]) -> Callable[[], dict]:
+    def run() -> dict:
+        from repro.analysis.streaming import (
+            FunnelKernel, MonthlyVolumeKernel, fold_partitions,
+        )
+        from repro.core.eras import ERAS, era_by_name
+        from repro.synth.cache import cached_partitioned_store
+
+        tracer = enable_tracing()
+        started = time.perf_counter()
+        store, hit = cached_partitioned_store(scale=scale, seed=seed,
+                                              cache_dir=cache_dir,
+                                              engine="fastgen")
+        if era is not None:
+            funnel = FunnelKernel(era_index=ERAS.index(era_by_name(era)))
+            fold_partitions(store, [funnel], era=era)
+        else:
+            funnel = FunnelKernel()
+            fold_partitions(store, [funnel, MonthlyVolumeKernel()])
+        result = funnel.finalize()
+        counters = tracer.snapshot()["counters"]
+        return {
+            "seconds": round(time.perf_counter() - started, 4),
+            "cache_hit": hit,
+            "contracts_seen": result.total_proposed,
+            "partitions_opened": counters.get("partition.opened", 0),
+            "months_selected": len(store.select_months(era=era)),
+        }
+
+    return run
+
+
+SCENARIOS = ("resident-full", "partitioned-full",
+             "resident-era", "partitioned-era")
+
+
+def bench(scale: float, seed: int, cache_dir: str, era: str) -> dict:
+    scenarios = {
+        "resident-full": _resident_scenario(scale, seed, cache_dir, None),
+        "partitioned-full": _partitioned_scenario(scale, seed, cache_dir,
+                                                  None),
+        "resident-era": _resident_scenario(scale, seed, cache_dir, era),
+        "partitioned-era": _partitioned_scenario(scale, seed, cache_dir, era),
+    }
+    results: dict = {}
+    for name, fn in scenarios.items():
+        measured = _in_child(fn)
+        if measured is None:
+            print(f"  {name:<18s} unmeasured (fork unavailable)",
+                  file=sys.stderr)
+            continue
+        results[name] = measured
+        opened = measured.get("partitions_opened")
+        extra = f", {opened} partitions opened" if opened is not None else ""
+        print(f"  {name:<18s} {measured['seconds']:7.2f}s "
+              f"{measured['peak_rss_bytes'] / 2**20:7.0f} MB peak"
+              f"{extra}", file=sys.stderr)
+    return results
+
+
+def _summary(results: dict) -> dict:
+    """Headline ratios: partitioned peak RSS as a share of resident."""
+    summary = {}
+    for kind in ("full", "era"):
+        resident = results.get(f"resident-{kind}", {}).get("peak_rss_bytes")
+        streamed = results.get(f"partitioned-{kind}", {}).get(
+            "peak_rss_bytes")
+        if resident and streamed:
+            summary[f"{kind}_rss_ratio"] = round(streamed / resident, 3)
+    return summary
+
+
+def _check(results: dict, rss_budget: float) -> int:
+    """Enforce the acceptance bar on the era scenario pair."""
+    failures = []
+    era = results.get("partitioned-era")
+    resident = results.get("resident-era")
+    if not era or not resident:
+        failures.append("era scenarios were not both measured")
+    else:
+        ratio = era["peak_rss_bytes"] / resident["peak_rss_bytes"]
+        if ratio > rss_budget:
+            failures.append(
+                f"partitioned era query used {ratio:.0%} of resident peak "
+                f"RSS (budget {rss_budget:.0%})")
+        if era["partitions_opened"] != era["months_selected"]:
+            failures.append(
+                f"era query opened {era['partitions_opened']} partitions, "
+                f"expected exactly the era's {era['months_selected']} months")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"acceptance: era query at "
+          f"{era['peak_rss_bytes'] / resident['peak_rss_bytes']:.0%} of "
+          f"resident peak RSS, {era['partitions_opened']} partitions opened",
+          file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=SMOKE_SCALE,
+                        help=f"market scale (default {SMOKE_SCALE})")
+    parser.add_argument("--seed", type=int, default=99)
+    parser.add_argument("--era", default=DEFAULT_ERA,
+                        help=f"era for the single-era scenarios "
+                             f"(default {DEFAULT_ERA})")
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse this cache dir (default: a fresh "
+                             "temp dir, removed afterwards)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here (default: stdout)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless the partitioned era query beats "
+                             "the resident RSS budget and opens only the "
+                             "era's months")
+    parser.add_argument("--rss-budget", type=float, default=0.5,
+                        help="max partitioned/resident peak-RSS ratio for "
+                             "the era scenario under --check (default 0.5)")
+    args = parser.parse_args(argv)
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="bench-stream-")
+    cleanup = args.cache_dir is None
+    try:
+        print(f"scale {args.scale:g} seed {args.seed} era {args.era}:",
+              file=sys.stderr)
+        _warm_caches(args.scale, args.seed, cache_dir)
+        results = bench(args.scale, args.seed, cache_dir, args.era)
+    finally:
+        if cleanup:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    report = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "scale": args.scale,
+        "seed": args.seed,
+        "era": args.era,
+        "scenarios": results,
+        "summary": _summary(results),
+    }
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(payload, end="")
+    if args.check:
+        return _check(results, args.rss_budget)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

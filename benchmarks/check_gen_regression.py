@@ -4,8 +4,11 @@ Compares a fresh ``bench_fastgen.py`` report against the committed
 baseline (``benchmarks/gen_baseline.json``) and fails when any engine at
 any scale got more than ``--factor`` times slower (default 2x, absorbing
 the 30-50% wall-clock noise of shared CI machines while still catching
-real regressions).  Entries present in only one report are listed but do
-not fail the gate — adding a scale to the bench must not break CI until
+real regressions) **or** grew its peak RSS beyond ``--rss-factor``
+(default 1.5x — memory high-water marks barely jitter between runs, so
+the budget is tighter; each engine's RSS is measured in its own forked
+child).  Entries present in only one report are listed but do not fail
+the gate — adding a scale or metric to the bench must not break CI until
 the baseline is refreshed.
 
 Usage::
@@ -31,12 +34,18 @@ import sys
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "gen_baseline.json")
 
 
-def _entries(report: dict) -> dict:
-    """Flatten a bench report to ``{(scale, engine): best_seconds}``."""
+def _entries(report: dict, key: str = "best_seconds") -> dict:
+    """Flatten a bench report to ``{(scale, engine): stats[key]}``.
+
+    Entries missing ``key`` (older reports predating the peak-RSS
+    gate) or holding a falsy value (failed RSS measurement) are left
+    out, so they are skipped rather than failed against.
+    """
     flat = {}
     for run in report.get("runs", []):
         for engine, stats in run.get("engines", {}).items():
-            flat[(run["scale"], engine)] = stats["best_seconds"]
+            if stats.get(key):
+                flat[(run["scale"], engine)] = stats[key]
     return flat
 
 
@@ -47,6 +56,10 @@ def main(argv=None) -> int:
                         help=f"committed baseline (default: {DEFAULT_BASELINE})")
     parser.add_argument("--factor", type=float, default=2.0,
                         help="failure threshold: current > factor * baseline")
+    parser.add_argument("--rss-factor", type=float, default=1.5,
+                        help="peak-RSS threshold: current > rss-factor * "
+                             "baseline (memory is far less noisy than "
+                             "wall-clock, so the budget is tighter)")
     parser.add_argument("--update", action="store_true",
                         help="overwrite the baseline with the current report")
     args = parser.parse_args(argv)
@@ -57,33 +70,49 @@ def main(argv=None) -> int:
         return 0
 
     with open(args.current, "r", encoding="utf-8") as handle:
-        current = _entries(json.load(handle))
+        current_report = json.load(handle)
     with open(args.baseline, "r", encoding="utf-8") as handle:
-        baseline = _entries(json.load(handle))
+        baseline_report = json.load(handle)
 
-    failures = []
-    for key in sorted(baseline):
-        scale, engine = key
-        base = baseline[key]
-        now = current.get(key)
-        if now is None:
-            print(f"  scale {scale:g} {engine}: not in current report (skipped)")
-            continue
-        ratio = now / base if base else float("inf")
-        marker = "FAIL" if ratio > args.factor else "ok"
-        print(f"  scale {scale:g} {engine:<16s} {base:7.2f}s -> {now:7.2f}s "
-              f"(x{ratio:.2f})  {marker}")
-        if ratio > args.factor:
-            failures.append((key, base, now, ratio))
-    for key in sorted(set(current) - set(baseline)):
-        print(f"  scale {key[0]:g} {key[1]}: new entry, no baseline (skipped)")
+    def gate(metric: str, factor: float, unit: str, divisor: float) -> list:
+        current = _entries(current_report, metric)
+        baseline = _entries(baseline_report, metric)
+        failures = []
+        for key in sorted(baseline):
+            scale, engine = key
+            base = baseline[key]
+            now = current.get(key)
+            if now is None:
+                print(f"  scale {scale:g} {engine}: no current {metric} "
+                      f"(skipped)")
+                continue
+            ratio = now / base if base else float("inf")
+            marker = "FAIL" if ratio > factor else "ok"
+            print(f"  scale {scale:g} {engine:<16s} "
+                  f"{base / divisor:8.2f}{unit} -> {now / divisor:8.2f}{unit} "
+                  f"(x{ratio:.2f})  {marker}")
+            if ratio > factor:
+                failures.append((key, base, now, ratio))
+        for key in sorted(set(current) - set(baseline)):
+            print(f"  scale {key[0]:g} {key[1]}: new {metric} entry, "
+                  f"no baseline (skipped)")
+        return failures
 
-    if failures:
-        print(f"{len(failures)} regression(s) beyond x{args.factor:g}:",
-              file=sys.stderr)
+    print(f"wall-clock (budget x{args.factor:g}):")
+    failures = gate("best_seconds", args.factor, "s", 1.0)
+    print(f"peak RSS (budget x{args.rss_factor:g}):")
+    rss_failures = gate("peak_rss_bytes", args.rss_factor, "MB",
+                        float(2 ** 20))
+
+    if failures or rss_failures:
+        total = len(failures) + len(rss_failures)
+        print(f"{total} regression(s) beyond budget:", file=sys.stderr)
         for (scale, engine), base, now, ratio in failures:
             print(f"  scale {scale:g} {engine}: {base:.2f}s -> {now:.2f}s "
                   f"(x{ratio:.2f})", file=sys.stderr)
+        for (scale, engine), base, now, ratio in rss_failures:
+            print(f"  scale {scale:g} {engine}: {base / 2**20:.0f}MB -> "
+                  f"{now / 2**20:.0f}MB (x{ratio:.2f})", file=sys.stderr)
         return 1
     print("generation benchmarks within the regression budget")
     return 0

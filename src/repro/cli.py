@@ -8,6 +8,9 @@ Usage::
     python -m repro report --scale 0.1 --parallel 4              # cached full suite
     python -m repro report --fast-gen --gen-workers 4 --scale 1  # columnar engine
     python -m repro report --trace --scale 0.05                  # + timing tree/manifest
+    python -m repro report --store partitioned --scale 1         # via cache format v3
+    python -m repro stream funnel --era covid-19 --scale 1       # opens 4 months only
+    python -m repro stream growth --window 2019-03 2020-03       # windowed query
     python -m repro trace show run_manifest.json                 # render a manifest
     python -m repro summary --data market/                       # dataset overview
     python -m repro eras --scale 0.05                            # per-era profiles
@@ -31,7 +34,7 @@ from . import __version__
 from .blockchain.rates import RateOracle
 from .core.io import load_dataset, save_dataset
 from .report.experiments import EXPERIMENTS, ExperimentContext, run_experiment
-from .synth.marketsim import MarketSimulator, SimulationResult, generate_market
+from .synth.marketsim import SimulationResult
 from .synth.config import SimulationConfig
 
 __all__ = ["main", "build_parser"]
@@ -80,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "or ~/.cache/repro)")
     report.add_argument("--no-cache", action="store_true",
                         help="always regenerate; don't read or write the cache")
+    report.add_argument("--store", choices=("resident", "partitioned"),
+                        default="resident",
+                        help="dataset source: 'resident' caches monolithic "
+                             "column files (format v2); 'partitioned' builds "
+                             "the month-partitioned store (format v3) and "
+                             "materializes it for the resident experiments")
     report.add_argument("--trace", action="store_true",
                         help="record span timings and counters, print the "
                              "timing tree, and write run_manifest.json next "
@@ -101,6 +110,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit non-zero when any experiment failed "
                              "(without this flag failures are reported in "
                              "the output and manifest but the run exits 0)")
+
+    stream = commands.add_parser(
+        "stream",
+        help="windowed/per-era queries over the month-partitioned store "
+             "(opens only the months the query touches)",
+    )
+    stream.add_argument("ids", nargs="+",
+                        help="streaming experiment ids (growth, typemix, "
+                             "taxonomy, funnel, funnel-eras, keyshare, "
+                             "concentration, degrees) or 'all'")
+    _market_args(stream)
+    stream.add_argument("--window", nargs=2, metavar=("START", "END"),
+                        help="creation-month window, inclusive (YYYY-MM "
+                             "YYYY-MM)")
+    stream.add_argument("--era", metavar="NAME",
+                        help="restrict to one era (set-up, stable, covid-19 "
+                             "or E1/E2/E3); only that era's partitions open")
+    stream.add_argument("--cache-dir",
+                        help="dataset cache root (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro)")
+    stream.add_argument("--refresh", action="store_true",
+                        help="rebuild the partitioned store even if cached")
+    stream.add_argument("--out", help="also write artefacts under this "
+                                      "directory")
+    stream.add_argument("--trace", action="store_true",
+                        help="print span timings and partition.opened "
+                             "counters after the run")
 
     summary = commands.add_parser("summary", help="print a dataset overview")
     _market_args(summary)
@@ -172,8 +208,13 @@ def _market_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=20201027)
     sub.add_argument("--no-posts", action="store_true",
                      help="skip post generation (faster)")
+    sub.add_argument("--engine", choices=("auto", "object", "fastgen"),
+                     default="auto",
+                     help="generation engine; 'auto' (default) picks the "
+                          "object engine below the measured ~0.05-scale "
+                          "crossover and the columnar engine above it")
     sub.add_argument("--fast-gen", action="store_true",
-                     help="generate with the columnar engine "
+                     help="shorthand for --engine fastgen "
                           "(repro.synth.fastgen): vectorized, cohort-"
                           "sharded, writes straight into the column store")
     sub.add_argument("--gen-workers", type=int, default=1, metavar="N",
@@ -187,6 +228,8 @@ def _engine_overrides(args) -> dict:
     overrides = {"generate_posts": not args.no_posts}
     if getattr(args, "fast_gen", False):
         overrides["engine"] = "fastgen"
+    else:
+        overrides["engine"] = getattr(args, "engine", "auto")
     return overrides
 
 
@@ -223,18 +266,12 @@ def _load_or_generate(args) -> SimulationResult:
 
 
 def _generate_direct(args) -> SimulationResult:
-    if getattr(args, "fast_gen", False):
-        from .synth.fastgen import generate_market_fast
+    from .synth.engine import run_engine
 
-        return generate_market_fast(
-            scale=args.scale,
-            seed=args.seed,
-            workers=getattr(args, "gen_workers", 1),
-            generate_posts=not args.no_posts,
-        )
-    return generate_market(
-        scale=args.scale, seed=args.seed, generate_posts=not args.no_posts
+    config = SimulationConfig(
+        scale=args.scale, seed=args.seed, **_engine_overrides(args)
     )
+    return run_engine(config, workers=getattr(args, "gen_workers", 1))
 
 
 def _cmd_generate(args) -> int:
@@ -290,6 +327,27 @@ def _cmd_report(args) -> int:
     if args.no_cache:
         result = _generate_direct(args)
         source = "generated (cache disabled)"
+    elif getattr(args, "store", "resident") == "partitioned":
+        from .synth.cache import (
+            cached_partitioned_store,
+            result_from_partitioned_store,
+        )
+
+        store, hit = cached_partitioned_store(
+            scale=args.scale,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            **_engine_overrides(args),
+        )
+        result = result_from_partitioned_store(
+            store,
+            SimulationConfig(
+                scale=args.scale, seed=args.seed, **_engine_overrides(args)
+            ),
+        )
+        source = (
+            "partitioned store hit" if hit else "streamed to partitioned store"
+        )
     else:
         from .synth.cache import cached_generate
 
@@ -377,7 +435,7 @@ def _cmd_report(args) -> int:
                 "latent_k": args.latent_k,
                 "posts": not args.no_posts,
                 "cache": not args.no_cache,
-                "engine": result.config.engine,
+                "engine": result.config.resolved_engine,
                 "gen_workers": max(1, args.gen_workers),
                 "experiments": len(runs),
             },
@@ -405,6 +463,69 @@ def _cmd_report(args) -> int:
         print(f"manifest: {manifest_path}", file=sys.stderr)
     if failed and args.strict:
         return 1
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from .report.stream_experiments import (
+        STREAM_EXPERIMENTS,
+        run_stream_experiment,
+    )
+
+    wanted = (
+        list(STREAM_EXPERIMENTS) if "all" in args.ids else args.ids
+    )
+    unknown = [i for i in wanted if i not in STREAM_EXPERIMENTS]
+    if unknown:
+        print(f"unknown stream experiment ids: {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(STREAM_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    tracer = None
+    if args.trace:
+        from .obs import enable_tracing
+
+        tracer = enable_tracing()
+    from .synth.cache import cached_partitioned_store
+
+    started = time.time()
+    store, hit = cached_partitioned_store(
+        scale=args.scale,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        refresh=args.refresh,
+        **_engine_overrides(args),
+    )
+    print(
+        f"store: {'hit' if hit else 'built'} in {time.time() - started:.1f}s "
+        f"({len(store.months)} month partitions, scale={args.scale}, "
+        f"seed={args.seed})",
+        file=sys.stderr,
+    )
+    start, end = args.window if args.window else (None, None)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for experiment_id in wanted:
+        report = run_stream_experiment(
+            experiment_id, store, start=start, end=end, era=args.era
+        )
+        print(report.text())
+        print()
+        if args.out:
+            path = os.path.join(args.out, f"{report.experiment_id}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.text() + "\n")
+
+    if tracer is not None:
+        from .obs import render_counters, render_timing_tree
+
+        print("timing tree:", file=sys.stderr)
+        for line in render_timing_tree(tracer.roots):
+            print("  " + line, file=sys.stderr)
+        print("counters:", file=sys.stderr)
+        for line in render_counters(tracer.counters, tracer.gauges):
+            print("  " + line, file=sys.stderr)
     return 0
 
 
@@ -498,6 +619,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "stream": _cmd_stream,
         "summary": _cmd_summary,
         "eras": _cmd_eras,
         "validate": _cmd_validate,

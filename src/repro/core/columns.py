@@ -56,6 +56,10 @@ __all__ = [
     "VISIBILITY_ORDER",
     "NAT_US",
     "month_from_index",
+    "month_index_of",
+    "month_indexes_of",
+    "era_bounds_us",
+    "era_indexes_of",
     "datetime_from_us",
 ]
 
@@ -99,6 +103,39 @@ def _month_indexes(stamps: np.ndarray) -> np.ndarray:
     """Months-since-1970 per timestamp; missing stamps map to −1."""
     idx = stamps.astype("datetime64[M]").astype(np.int64)
     return np.where(np.isnat(stamps), np.int64(-1), idx)
+
+
+def month_index_of(month: Month) -> int:
+    """Months since 1970-01 for a :class:`Month` (inverts month_from_index)."""
+    return (month.year - 1970) * 12 + (month.month - 1)
+
+
+def month_indexes_of(stamps_us: np.ndarray) -> np.ndarray:
+    """Months-since-1970 per int64-µs stamp (``NAT_US`` maps to −1).
+
+    Shared by :class:`ColumnStore` and the month partitions in
+    :mod:`repro.core.partitions` so both derive identical buckets.
+    """
+    stamps = np.asarray(stamps_us, dtype=np.int64).view("datetime64[us]")
+    return _month_indexes(stamps)
+
+
+def era_bounds_us() -> np.ndarray:
+    """Era boundary stamps (int64 µs): one per era start plus the day
+    after ``DATA_END`` — the searchsorted grid behind ``era_idx``."""
+    return np.array(
+        [era.start for era in ERAS] + [DATA_END + _dt.timedelta(days=1)],
+        dtype="datetime64[us]",
+    ).astype(np.int64)
+
+
+def era_indexes_of(created_us: np.ndarray) -> np.ndarray:
+    """Era codes (0/1/2 per :data:`~repro.core.eras.ERAS`, −1 outside the
+    study window) for int64-µs creation stamps — the exact
+    ``ColumnStore.era_idx`` formula, importable by incremental kernels."""
+    created = np.asarray(created_us, dtype=np.int64)
+    era = np.searchsorted(era_bounds_us(), created, side="right") - 1
+    return np.where((era >= 0) & (era < len(ERAS)), era, -1).astype(np.int8)
 
 
 class RatingColumns:
@@ -247,14 +284,7 @@ class ColumnStore:
             np.where(self.has_completed, completed_m, self.month_idx),
             np.int64(-1),
         )
-        bounds = np.array(
-            [era.start for era in ERAS] + [DATA_END + _dt.timedelta(days=1)],
-            dtype="datetime64[us]",
-        ).astype(np.int64)
-        era = np.searchsorted(bounds, self.created_us, side="right") - 1
-        self.era_idx = np.where(
-            (era >= 0) & (era < len(ERAS)), era, -1
-        ).astype(np.int8)
+        self.era_idx = era_indexes_of(self.created_us)
 
         #: Hours between creation and completion (NaN when undated);
         #: matches ``Contract.completion_hours`` bit for bit.

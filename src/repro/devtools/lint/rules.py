@@ -18,7 +18,11 @@ The rules encode invariants specific to this reproduction:
   1 Mar 2019 / 11 Mar 2020) live only in :mod:`repro.core.eras`;
 * failure hygiene — catch-all exception handlers in library code must
   carry a written ``# robust:`` justification (R008) so degradation
-  boundaries are deliberate, not accidental swallowing.
+  boundaries are deliberate, not accidental swallowing;
+* out-of-core hygiene — analysis-layer code must not force a full
+  partitioned-store materialization without a written ``# partition:``
+  justification (R009), so windowed queries keep opening only the
+  month shards they touch.
 """
 
 from __future__ import annotations
@@ -628,6 +632,68 @@ class BroadExceptUnjustified(Rule):
             )
 
 
+# --------------------------------------------------------------------- #
+# R009 full-store-materialize
+# --------------------------------------------------------------------- #
+
+
+class FullStoreMaterialize(Rule):
+    """R009 full-store-materialize: analysis code must not silently force
+    a full-store materialization.
+
+    The month-partitioned store (:mod:`repro.core.partitions`) exists so
+    windowed and per-era questions touch only the month shards they
+    need; the incremental kernels in :mod:`repro.analysis.streaming`
+    answer every paper question that way.  Calling ``.materialize()`` or
+    ``.tables()`` inside the analysis layers (``src/repro/analysis/``,
+    ``src/repro/network/``) loads *all* partitions into resident arrays
+    — exactly the cost the store was built to avoid, and the kind of
+    regression that creeps in silently when a kernel grows a "simple"
+    fallback.  Genuine whole-history needs still exist (a kernel whose
+    algebra is not mergeable), so the rule does not ban the calls: it
+    requires a ``# partition:`` comment on the call line or the line
+    directly above, stating why resident materialization is the right
+    cost there.  Loader code (``repro.synth.cache``) and the store
+    itself are out of scope — only the analysis layers promise to stay
+    incremental.
+    """
+
+    id = "R009"
+    name = "full-store-materialize"
+    scope = ("src",)
+
+    _FORCING = {"materialize", "tables"}
+    _SCOPES = ("src/repro/analysis/", "src/repro/network/")
+
+    def _justified(self, source, node: ast.AST) -> bool:  # noqa: ANN001
+        lines = source.text.splitlines()
+        for lineno in (node.lineno, node.lineno - 1):
+            if 1 <= lineno <= len(lines) and "# partition:" in lines[lineno - 1]:
+                return True
+        return False
+
+    def visit(self, source):  # noqa: ANN001
+        if not source.path.startswith(self._SCOPES):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in self._FORCING:
+                continue
+            if self._justified(source, node):
+                continue
+            yield self.finding(
+                source, node,
+                f".{node.func.attr}() in the analysis layer forces a "
+                f"full-store materialization — fold incremental kernels "
+                f"over the month partitions instead "
+                f"(repro.analysis.streaming), or add a `# partition:` "
+                f"comment stating why resident arrays are required here",
+            )
+
+
 #: Rule registry in id order; ``repro lint --list-rules`` renders it.
 RULES: Dict[str, type] = {
     rule.id: rule
@@ -640,6 +706,7 @@ RULES: Dict[str, type] = {
         FloatEquality,
         UndocumentedPublicModule,
         BroadExceptUnjustified,
+        FullStoreMaterialize,
     )
 }
 

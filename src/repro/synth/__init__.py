@@ -16,7 +16,9 @@ from .marketsim import (
     SimulationTruth,
     generate_market,
 )
+from .engine import run_engine
 from .fastgen import FastMarketSimulator, generate_market_fast
+from .streamgen import stream_partitioned
 from .obligations import ObligationGenerator, ObligationSpec
 from .population import AliasSampler, ArrayPopulation, ClassRoster, Population
 from .calibration import CalibrationCheck, CalibrationReport, score_calibration
@@ -39,8 +41,10 @@ __all__ = [
     "SimulationResult",
     "SimulationTruth",
     "generate_market",
+    "run_engine",
     "FastMarketSimulator",
     "generate_market_fast",
+    "stream_partitioned",
     "ObligationGenerator",
     "ObligationSpec",
     "AliasSampler",

@@ -65,7 +65,8 @@ from ..robust.crashpoints import crash_point
 from ..robust.locks import FileLock, LockTimeout
 from ..robust.quarantine import quarantine_dir
 from .config import DEFAULT_CONFIG, SimulationConfig
-from .marketsim import MarketSimulator, SimulationResult, SimulationTruth
+from .engine import run_engine
+from .marketsim import SimulationResult, SimulationTruth
 
 __all__ = [
     "CACHE_VERSION",
@@ -77,6 +78,9 @@ __all__ = [
     "save_result",
     "load_result",
     "cached_generate",
+    "partitioned_cache_path",
+    "cached_partitioned_store",
+    "result_from_partitioned_store",
 ]
 
 #: Bump when the on-disk layout changes; stale entries are regenerated.
@@ -289,7 +293,7 @@ def _load_columns(entry: str, config: SimulationConfig) -> SimulationResult:
     with np.load(os.path.join(entry, "data.npz")) as data:
         cols = {key: data[key] for key in data.files}
 
-    if config.engine == "fastgen":
+    if config.resolved_engine == "fastgen":
         # Columnar engine: hand the arrays straight back as a lazy view —
         # no object materialization on load.  The table dict mirrors what
         # :func:`repro.synth.fastgen._merge_shards` produced (x_* ledger
@@ -500,14 +504,112 @@ def cached_generate(
                 tracer.count("cache.hits")
                 return cached, True
         tracer.count("cache.misses")
-        if config.engine == "fastgen":
-            from .fastgen import FastMarketSimulator
-
-            result = FastMarketSimulator(config).run(workers=gen_workers)
-        else:
-            result = MarketSimulator(config).run()
+        result = run_engine(config, workers=gen_workers)
         with tracer.span("cache.save"):
             save_result(result, cache_dir)
         return result, False
+    finally:
+        lock.release()
+
+
+# --------------------------------------------------------------------- #
+# Cache format v3: month-partitioned stores
+# --------------------------------------------------------------------- #
+
+def result_from_partitioned_store(store, config: SimulationConfig) -> SimulationResult:
+    """Materialize a partitioned store into a full :class:`SimulationResult`.
+
+    The legacy bridge for resident analyses that need the whole history:
+    concatenates every shard (month-major) behind a lazy
+    :class:`ColumnBackedDataset` and rebuilds the ledger from the global
+    ``x_*`` columns.  Streaming kernels should fold the store instead.
+    """
+    cols = store.tables()
+    return SimulationResult(
+        dataset=ColumnBackedDataset(cols),
+        ledger=_ledger_from_columns(cols),
+        rates=RateOracle(),
+        truth=SimulationTruth(),
+        config=config,
+    )
+
+def partitioned_cache_path(
+    config: SimulationConfig, cache_dir: Optional[str] = None
+) -> str:
+    """Directory holding the *partitioned* (format v3) entry for ``config``.
+
+    Lives beside the monolithic v2 entry under the same cache root, with
+    a ``p3`` marker in the name so the two formats never collide.
+    """
+    root = cache_dir or default_cache_dir()
+    fingerprint = config_fingerprint(config)
+    name = f"market_s{config.scale:g}_r{config.seed}_{fingerprint[:12]}-p3"
+    return os.path.join(root, name)
+
+
+def cached_partitioned_store(
+    scale: float = 1.0,
+    seed: int = DEFAULT_CONFIG.seed,
+    cache_dir: Optional[str] = None,
+    refresh: bool = False,
+    lock_timeout: Optional[float] = 600.0,
+    **overrides,
+):
+    """Open (or build) the month-partitioned store for a config.
+
+    Returns ``(store, hit)`` where ``store`` is a
+    :class:`~repro.core.partitions.PartitionStore`.  The fastgen engine
+    streams shards to disk month by month
+    (:func:`repro.synth.streamgen.stream_partitioned`) without ever
+    holding full-history tables; other engines generate resident tables
+    and split them with
+    :func:`~repro.core.partitions.write_tables`.  Locking, atomic
+    publication and corrupt-entry quarantine mirror
+    :func:`cached_generate`; stale (old-format or other-fingerprint)
+    stores read as plain misses and are overwritten on publish.
+    """
+    from ..core.partitions import (
+        PartitionStore, open_or_quarantine, write_tables,
+    )
+
+    tracer = get_tracer()
+    config = SimulationConfig(scale=scale, seed=seed, **overrides)
+    fingerprint = config_fingerprint(config)
+    entry = partitioned_cache_path(config, cache_dir)
+    if not refresh:
+        with tracer.span("cache.lookup"):
+            store = open_or_quarantine(entry, fingerprint)
+        if store is not None:
+            tracer.count("cache.hits")
+            return store, True
+
+    os.makedirs(os.path.dirname(entry) or ".", exist_ok=True)
+    lock = FileLock(entry + ".lock", timeout=lock_timeout)
+    try:
+        with tracer.span("cache.lock"):
+            lock.acquire()
+    except LockTimeout:
+        tracer.count("cache.lock_timeout")
+    try:
+        if not refresh:
+            store = open_or_quarantine(entry, fingerprint)
+            if store is not None:
+                tracer.count("cache.hits")
+                return store, True
+        tracer.count("cache.misses")
+        meta = {
+            "fingerprint": fingerprint,
+            "scale": config.scale,
+            "seed": config.seed,
+            "engine": config.resolved_engine,
+        }
+        with tracer.span("cache.save"):
+            if config.resolved_engine == "fastgen":
+                from .streamgen import stream_partitioned
+                stream_partitioned(config, entry, meta=meta)
+            else:
+                result = run_engine(config)
+                write_tables(_columns_of(result), entry, meta=meta)
+        return PartitionStore.open(entry, fingerprint), False
     finally:
         lock.release()

@@ -37,6 +37,7 @@ __all__ = [
     "SimulationConfig",
     "interpolate_curve",
     "DEFAULT_CONFIG",
+    "ENGINE_AUTO_CROSSOVER",
 ]
 
 # --------------------------------------------------------------------- #
@@ -540,6 +541,14 @@ def interpolate_curve(curve: Curve, months: Sequence[Month]) -> Dict[Month, floa
     return result
 
 
+#: Scale at which the fastgen engine overtakes the object engine
+#: (best-of-N wall clock, benchmarks/BENCH_gen.json: fastgen-sharded runs
+#: at 0.81x object speed at scale 0.02 and 10.3x at scale 1.0, crossing
+#: near 0.05).  ``engine="auto"`` picks the object engine below this
+#: scale and fastgen at or above it.
+ENGINE_AUTO_CROSSOVER = 0.05
+
+
 @dataclass
 class SimulationConfig:
     """Tunable knobs for one simulator run.
@@ -560,9 +569,11 @@ class SimulationConfig:
     thread_link_prob: float = THREAD_LINK_PROB
     generate_posts: bool = True
     generate_threads: bool = True
-    #: Generation engine: "object" (MarketSimulator) or "fastgen" (the
-    #: columnar engine in :mod:`repro.synth.fastgen`).
-    engine: str = "object"
+    #: Generation engine: "object" (MarketSimulator), "fastgen" (the
+    #: columnar engine in :mod:`repro.synth.fastgen`), or "auto", which
+    #: resolves by scale at the measured crossover (see
+    #: :data:`ENGINE_AUTO_CROSSOVER` and :attr:`resolved_engine`).
+    engine: str = "auto"
     #: Cohort count for the fastgen engine.  Structural — part of the
     #: config fingerprint — so shard boundaries (and hence the dataset)
     #: never depend on how many worker processes happen to run.
@@ -572,10 +583,24 @@ class SimulationConfig:
         """Population weight of class ``name`` at ``fraction`` through era."""
         return _CLASS_SCHEDULES[name][era_index].at(fraction)
 
+    @property
+    def resolved_engine(self) -> str:
+        """The concrete engine this config runs on.
+
+        ``"auto"`` resolves by scale: below the measured
+        :data:`ENGINE_AUTO_CROSSOVER` the per-batch fixed costs of the
+        columnar engine outweigh its vectorization win (BENCH_gen.json:
+        fastgen-sharded at 0.81x object speed at smoke scale, 10.3x at
+        paper scale), so small runs take the object path.
+        """
+        if self.engine != "auto":
+            return self.engine
+        return "fastgen" if self.scale >= ENGINE_AUTO_CROSSOVER else "object"
+
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError("scale must be positive")
-        if self.engine not in ("object", "fastgen"):
+        if self.engine not in ("auto", "object", "fastgen"):
             raise ValueError(f"unknown engine: {self.engine!r}")
         if self.n_cohorts < 1:
             raise ValueError("n_cohorts must be >= 1")

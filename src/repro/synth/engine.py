@@ -1,0 +1,36 @@
+"""Engine dispatch: one place that maps a config onto a simulator.
+
+``SimulationConfig.engine`` accepts three values — ``"object"``,
+``"fastgen"`` and ``"auto"`` (the default).  ``"auto"`` resolves by
+scale at the measured crossover
+(:data:`repro.synth.config.ENGINE_AUTO_CROSSOVER`): tiny runs take the
+object engine (lower fixed costs), paper-scale runs take the columnar
+engine.  Every generation entry point — :func:`cached_generate`, the
+CLI, the partitioned store builder — funnels through
+:func:`run_engine` so the resolution logic exists exactly once.
+"""
+
+from __future__ import annotations
+
+from ..obs.tracer import get_tracer
+from .config import SimulationConfig
+from .marketsim import MarketSimulator, SimulationResult
+
+__all__ = ["run_engine"]
+
+
+def run_engine(config: SimulationConfig, workers: int = 1) -> SimulationResult:
+    """Generate a market with the engine ``config`` resolves to.
+
+    ``workers`` is a runtime knob for the fastgen path (cohort shards
+    across forked processes); the object engine ignores it.  The chosen
+    engine is recorded as a ``gen.engine.<name>`` counter so traces show
+    what ``"auto"`` picked.
+    """
+    engine = config.resolved_engine
+    get_tracer().count(f"gen.engine.{engine}")
+    if engine == "fastgen":
+        from .fastgen import FastMarketSimulator
+
+        return FastMarketSimulator(config).run(workers=workers)
+    return MarketSimulator(config).run()

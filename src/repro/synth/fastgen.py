@@ -144,25 +144,13 @@ class _CohortGenerator:
             for ctype, curve in cfg.TYPE_SHARES.items()
         }
 
-        # contract column accumulators (one chunk per (month, type))
-        self._c_type: List[np.ndarray] = []
-        self._c_status: List[np.ndarray] = []
-        self._c_vis: List[np.ndarray] = []
-        self._c_maker: List[np.ndarray] = []
-        self._c_taker: List[np.ndarray] = []
-        self._c_created: List[np.ndarray] = []
-        self._c_completed: List[np.ndarray] = []
-        self._c_maker_rating: List[np.ndarray] = []
-        self._c_taker_rating: List[np.ndarray] = []
-        self._c_thread: List[np.ndarray] = []
-        self._c_maker_class: List[np.ndarray] = []
-        self._c_taker_class: List[np.ndarray] = []
-        self._maker_ob: List[str] = []
-        self._taker_ob: List[str] = []
-        self._terms: List[str] = []
-        self._btc_addr: List[str] = []
-        self._btc_tx: List[str] = []
-        self._specs: List[Optional[ObligationSpec]] = []
+        # Contract/post/rating accumulators are *per-month* buffers
+        # (reset by _begin_month_buffers, drained by _collect_month into
+        # one chunk dict per month).  Batch callers concatenate the
+        # chunks; the streaming emitter writes each chunk to its month
+        # partition and drops it, so no full-history column ever sits in
+        # memory during generation.
+        self._begin_month_buffers()
 
         # threads: local index order; event lists encode (1 + use) weights
         self._t_author: List[int] = []
@@ -171,15 +159,6 @@ class _CohortGenerator:
         self._thread_events: List[int] = []
         self._author_events: Dict[int, List[int]] = {}
         self._events_arr = np.empty(0, dtype=np.int64)
-
-        self._p_thread: List[np.ndarray] = []
-        self._p_author: List[np.ndarray] = []
-        self._p_created: List[np.ndarray] = []
-        self._p_market: List[np.ndarray] = []
-
-        self._r_ratee: List[np.ndarray] = []
-        self._r_score: List[np.ndarray] = []
-        self._r_created: List[np.ndarray] = []
 
         self._x_seed: List[int] = []
         self._x_address: List[str] = []
@@ -304,48 +283,128 @@ class _CohortGenerator:
 
     def generate(self) -> Dict[str, object]:
         """Run the cohort's month loop and return its shard dict."""
+        chunks = [
+            self.run_month(month_index, month)
+            for month_index, month in enumerate(self.months)
+        ]
+        return self._shard_dict(chunks)
+
+    def _begin_month_buffers(self) -> None:
+        """Reset the per-month contract/post/rating accumulators."""
+        self._c_type: List[np.ndarray] = []
+        self._c_status: List[np.ndarray] = []
+        self._c_vis: List[np.ndarray] = []
+        self._c_maker: List[np.ndarray] = []
+        self._c_taker: List[np.ndarray] = []
+        self._c_created: List[np.ndarray] = []
+        self._c_completed: List[np.ndarray] = []
+        self._c_maker_rating: List[np.ndarray] = []
+        self._c_taker_rating: List[np.ndarray] = []
+        self._c_thread: List[np.ndarray] = []
+        self._c_maker_class: List[np.ndarray] = []
+        self._c_taker_class: List[np.ndarray] = []
+        self._maker_ob: List[str] = []
+        self._taker_ob: List[str] = []
+        self._terms: List[str] = []
+        self._btc_addr: List[str] = []
+        self._btc_tx: List[str] = []
+        self._specs: List[Optional[ObligationSpec]] = []
+        self._p_thread: List[np.ndarray] = []
+        self._p_author: List[np.ndarray] = []
+        self._p_created: List[np.ndarray] = []
+        self._p_market: List[np.ndarray] = []
+        self._r_ratee: List[np.ndarray] = []
+        self._r_score: List[np.ndarray] = []
+        self._r_created: List[np.ndarray] = []
+
+    def _collect_month(self) -> Dict[str, object]:
+        """Drain the month buffers into one chunk dict."""
+
+        def cat(chunks: List[np.ndarray], dtype) -> np.ndarray:
+            if not chunks:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(chunks).astype(dtype, copy=False)
+
+        return {
+            "c_type": cat(self._c_type, np.int8),
+            "c_status": cat(self._c_status, np.int8),
+            "c_visibility": cat(self._c_vis, np.int8),
+            "c_maker": cat(self._c_maker, np.int64),
+            "c_taker": cat(self._c_taker, np.int64),
+            "c_created_us": cat(self._c_created, np.int64),
+            "c_completed_us": cat(self._c_completed, np.int64),
+            "c_maker_rating": cat(self._c_maker_rating, np.int8),
+            "c_taker_rating": cat(self._c_taker_rating, np.int8),
+            "c_thread": cat(self._c_thread, np.int64),
+            "c_maker_class": cat(self._c_maker_class, np.int8),
+            "c_taker_class": cat(self._c_taker_class, np.int8),
+            "maker_ob": self._maker_ob,
+            "taker_ob": self._taker_ob,
+            "terms": self._terms,
+            "btc_addr": self._btc_addr,
+            "btc_tx": self._btc_tx,
+            "specs": self._specs,
+            "p_thread": cat(self._p_thread, np.int64),
+            "p_author": cat(self._p_author, np.int64),
+            "p_created_us": cat(self._p_created, np.int64),
+            "p_marketplace": cat(self._p_market, np.bool_),
+            "r_ratee": cat(self._r_ratee, np.int64),
+            "r_score": cat(self._r_score, np.int8),
+            "r_created_us": cat(self._r_created, np.int64),
+        }
+
+    def run_month(self, month_index: int, month: Month) -> Dict[str, object]:
+        """Generate exactly one month and return its chunk dict.
+
+        The batch path (:meth:`generate`) concatenates the chunks it
+        returns; the streaming path
+        (:func:`repro.synth.streamgen.stream_partitioned`) writes each
+        chunk straight to its month partition.  The per-cohort RNG draw
+        order is identical either way, so both paths produce the same
+        rows for a given config.
+        """
+        self._begin_month_buffers()
         scale = self.config.scale / self.config.n_cohorts
-        for month_index, month in enumerate(self.months):
-            self.pop.begin_month(month_index)
-            era_index, era_fraction = era_position(month)
-            month_us = _month_first_day_us(month)
-            month_days = month.days()
+        self.pop.begin_month(month_index)
+        era_index, era_fraction = era_position(month)
+        month_us = _month_first_day_us(month)
+        month_days = month.days()
 
-            target = self._created_curve[month] * scale
-            month_maker: List[np.ndarray] = []
-            month_taker: List[np.ndarray] = []
-            month_complete: List[np.ndarray] = []
-            month_disputed: List[np.ndarray] = []
-            if target > 0:
-                total = int(self.rng.poisson(target))
-                if total:
-                    shares = np.asarray(
-                        [self._type_share_curves[t][month] for t in _TYPES]
+        target = self._created_curve[month] * scale
+        month_maker: List[np.ndarray] = []
+        month_taker: List[np.ndarray] = []
+        month_complete: List[np.ndarray] = []
+        month_disputed: List[np.ndarray] = []
+        if target > 0:
+            total = int(self.rng.poisson(target))
+            if total:
+                shares = np.asarray(
+                    [self._type_share_curves[t][month] for t in _TYPES]
+                )
+                type_counts = self.rng.multinomial(total, shares / shares.sum())
+                for ctype, count in zip(_TYPES, type_counts):
+                    if not count:
+                        continue
+                    maker, taker, complete, disputed = self._type_month(
+                        ctype,
+                        int(count),
+                        month_index,
+                        month,
+                        era_index,
+                        era_fraction,
+                        month_us,
+                        month_days,
                     )
-                    type_counts = self.rng.multinomial(total, shares / shares.sum())
-                    for ctype, count in zip(_TYPES, type_counts):
-                        if not count:
-                            continue
-                        maker, taker, complete, disputed = self._type_month(
-                            ctype,
-                            int(count),
-                            month_index,
-                            month,
-                            era_index,
-                            era_fraction,
-                            month_us,
-                            month_days,
-                        )
-                        month_maker.append(maker)
-                        month_taker.append(taker)
-                        month_complete.append(complete)
-                        month_disputed.append(disputed)
+                    month_maker.append(maker)
+                    month_taker.append(taker)
+                    month_complete.append(complete)
+                    month_disputed.append(disputed)
 
-            self._finish_month(
-                month_maker, month_taker, month_complete, month_disputed,
-                month_us, month_days,
-            )
-        return self._shard_dict()
+        self._finish_month(
+            month_maker, month_taker, month_complete, month_disputed,
+            month_us, month_days,
+        )
+        return self._collect_month()
 
     def _resolve_classes(
         self,
@@ -1037,49 +1096,67 @@ class _CohortGenerator:
 
     # ------------------------------------------------------------------ #
 
-    def _shard_dict(self) -> Dict[str, object]:
-        def cat(chunks, dtype):
-            if not chunks:
-                return np.empty(0, dtype=dtype)
-            return np.concatenate(chunks).astype(dtype, copy=False)
+    def lifetime_dict(self) -> Dict[str, object]:
+        """The cohort's month-free state (users/threads/ledger).
 
+        Valid after the month loop has run — shared by the batch shard
+        dict and the streaming finalizer.
+        """
         return {
             "n_users": self.pop.n_users,
             "user_joined_us": self.pop.joined_us.copy(),
             "user_class_code": self.pop.class_code.copy(),
-            "c_type": cat(self._c_type, np.int8),
-            "c_status": cat(self._c_status, np.int8),
-            "c_visibility": cat(self._c_vis, np.int8),
-            "c_maker": cat(self._c_maker, np.int64),
-            "c_taker": cat(self._c_taker, np.int64),
-            "c_created_us": cat(self._c_created, np.int64),
-            "c_completed_us": cat(self._c_completed, np.int64),
-            "c_maker_rating": cat(self._c_maker_rating, np.int8),
-            "c_taker_rating": cat(self._c_taker_rating, np.int8),
-            "c_thread": cat(self._c_thread, np.int64),
-            "c_maker_class": cat(self._c_maker_class, np.int8),
-            "c_taker_class": cat(self._c_taker_class, np.int8),
-            "maker_ob": self._maker_ob,
-            "taker_ob": self._taker_ob,
-            "terms": self._terms,
-            "btc_addr": self._btc_addr,
-            "btc_tx": self._btc_tx,
-            "specs": self._specs,
             "t_author": np.asarray(self._t_author, dtype=np.int64),
             "t_created_us": np.asarray(self._t_created, dtype=np.int64),
             "t_title": self._t_title,
-            "p_thread": cat(self._p_thread, np.int64),
-            "p_author": cat(self._p_author, np.int64),
-            "p_created_us": cat(self._p_created, np.int64),
-            "p_marketplace": cat(self._p_market, np.bool_),
-            "r_ratee": cat(self._r_ratee, np.int64),
-            "r_score": cat(self._r_score, np.int8),
-            "r_created_us": cat(self._r_created, np.int64),
             "x_seed": np.asarray(self._x_seed, dtype=np.int64),
             "x_address": self._x_address,
             "x_when_us": np.asarray(self._x_when, dtype=np.int64),
             "x_btc": np.asarray(self._x_btc, dtype=np.float64),
         }
+
+    def _shard_dict(self, chunks: List[Dict[str, object]]) -> Dict[str, object]:
+        def cat(key: str, dtype) -> np.ndarray:
+            pieces = [chunk[key] for chunk in chunks if len(chunk[key])]
+            if not pieces:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(pieces).astype(dtype, copy=False)
+
+        def cat_list(key: str) -> list:
+            out: list = []
+            for chunk in chunks:
+                out.extend(chunk[key])
+            return out
+
+        shard = self.lifetime_dict()
+        shard.update({
+            "c_type": cat("c_type", np.int8),
+            "c_status": cat("c_status", np.int8),
+            "c_visibility": cat("c_visibility", np.int8),
+            "c_maker": cat("c_maker", np.int64),
+            "c_taker": cat("c_taker", np.int64),
+            "c_created_us": cat("c_created_us", np.int64),
+            "c_completed_us": cat("c_completed_us", np.int64),
+            "c_maker_rating": cat("c_maker_rating", np.int8),
+            "c_taker_rating": cat("c_taker_rating", np.int8),
+            "c_thread": cat("c_thread", np.int64),
+            "c_maker_class": cat("c_maker_class", np.int8),
+            "c_taker_class": cat("c_taker_class", np.int8),
+            "maker_ob": cat_list("maker_ob"),
+            "taker_ob": cat_list("taker_ob"),
+            "terms": cat_list("terms"),
+            "btc_addr": cat_list("btc_addr"),
+            "btc_tx": cat_list("btc_tx"),
+            "specs": cat_list("specs"),
+            "p_thread": cat("p_thread", np.int64),
+            "p_author": cat("p_author", np.int64),
+            "p_created_us": cat("p_created_us", np.int64),
+            "p_marketplace": cat("p_marketplace", np.bool_),
+            "r_ratee": cat("r_ratee", np.int64),
+            "r_score": cat("r_score", np.int8),
+            "r_created_us": cat("r_created_us", np.int64),
+        })
+        return shard
 
 
 def _generate_shard(item: Tuple[SimulationConfig, int]) -> Dict[str, object]:

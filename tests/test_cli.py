@@ -79,3 +79,40 @@ class TestValidateAndExport:
                      "--no-posts", "--out", out])
         assert code == 0
         assert os.path.exists(os.path.join(out, "contracts.csv"))
+
+
+class TestStreamCommand:
+    def test_stream_single_experiment(self, tmp_path, capsys):
+        code = main(["stream", "funnel", "--scale", "0.01", "--seed", "9",
+                     "--engine", "fastgen", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "proposed" in capsys.readouterr().out
+
+    def test_stream_era_and_out(self, tmp_path, capsys):
+        out = str(tmp_path / "artefacts")
+        code = main(["stream", "funnel", "--scale", "0.01", "--seed", "9",
+                     "--engine", "fastgen", "--era", "COVID-19",
+                     "--cache-dir", str(tmp_path / "cache"), "--out", out])
+        assert code == 0
+        assert "era=COVID-19" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(out, "stream-funnel.txt"))
+
+    def test_stream_window(self, tmp_path, capsys):
+        code = main(["stream", "growth", "--scale", "0.01", "--seed", "9",
+                     "--engine", "fastgen",
+                     "--window", "2019-03", "2019-06",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "2019-03" in captured
+        assert "2020-01" not in captured
+
+    def test_stream_unknown_id(self, tmp_path, capsys):
+        code = main(["stream", "bogus", "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "unknown stream experiment" in capsys.readouterr().err
+
+    def test_report_accepts_store_flag(self):
+        args = build_parser().parse_args(
+            ["report", "--store", "partitioned"])
+        assert args.store == "partitioned"

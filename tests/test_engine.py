@@ -1,0 +1,65 @@
+"""Engine dispatch: the ``"auto"`` default, the measured scale
+crossover, and run_engine's single point of resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import disable_tracing, enable_tracing
+from repro.synth import SimulationConfig
+from repro.synth.config import ENGINE_AUTO_CROSSOVER
+from repro.synth.engine import run_engine
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestResolution:
+    def test_auto_is_the_default(self):
+        assert SimulationConfig().engine == "auto"
+
+    def test_below_crossover_resolves_object(self):
+        config = SimulationConfig(scale=ENGINE_AUTO_CROSSOVER / 2)
+        assert config.resolved_engine == "object"
+
+    def test_at_crossover_resolves_fastgen(self):
+        config = SimulationConfig(scale=ENGINE_AUTO_CROSSOVER)
+        assert config.resolved_engine == "fastgen"
+
+    def test_above_crossover_resolves_fastgen(self):
+        assert SimulationConfig(scale=1.0).resolved_engine == "fastgen"
+
+    def test_explicit_engine_wins_over_scale(self):
+        assert SimulationConfig(
+            scale=1.0, engine="object"
+        ).resolved_engine == "object"
+        assert SimulationConfig(
+            scale=0.001, engine="fastgen"
+        ).resolved_engine == "fastgen"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(engine="warp")
+
+
+class TestDispatch:
+    def test_auto_small_scale_runs_object_engine(self):
+        tracer = enable_tracing()
+        result = run_engine(SimulationConfig(scale=0.004, seed=9,
+                                             generate_posts=False))
+        counters = tracer.snapshot()["counters"]
+        assert counters.get("gen.engine.object") == 1
+        assert "gen.engine.fastgen" not in counters
+        assert len(result.dataset.contracts) > 0
+
+    def test_explicit_fastgen_runs_columnar_engine(self):
+        tracer = enable_tracing()
+        result = run_engine(SimulationConfig(scale=0.01, seed=9,
+                                             engine="fastgen"))
+        counters = tracer.snapshot()["counters"]
+        assert counters.get("gen.engine.fastgen") == 1
+        assert result.dataset.tables is not None

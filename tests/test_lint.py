@@ -466,6 +466,58 @@ class TestBroadExceptUnjustified:
 
 
 # --------------------------------------------------------------------- #
+# R009 full-store-materialize
+# --------------------------------------------------------------------- #
+
+
+class TestFullStoreMaterialize:
+    ANALYSIS = "src/repro/analysis/example.py"
+    NETWORK = "src/repro/network/example.py"
+
+    def test_flags_materialize_in_analysis(self):
+        findings = lint_one(
+            "def growth(store):\n"
+            "    return store.materialize()\n",
+            path=self.ANALYSIS,
+        )
+        assert rule_ids(findings) == ["R009"]
+        assert "# partition:" in findings[0].message
+
+    def test_flags_tables_in_network(self):
+        findings = lint_one(
+            "def degrees(store):\n"
+            "    return store.tables()\n",
+            path=self.NETWORK,
+        )
+        assert rule_ids(findings) == ["R009"]
+
+    def test_partition_comment_justifies(self):
+        findings = lint_one(
+            "def growth(store):\n"
+            "    # partition: algebra is not mergeable, resident is required\n"
+            "    return store.materialize()\n",
+            path=self.ANALYSIS,
+        )
+        assert findings == []
+
+    def test_comment_on_call_line_justifies(self):
+        findings = lint_one(
+            "def growth(store):\n"
+            "    return store.tables()  # partition: legacy consumer\n",
+            path=self.ANALYSIS,
+        )
+        assert findings == []
+
+    def test_other_layers_are_out_of_scope(self):
+        findings = lint_one(
+            "def load(store):\n"
+            "    return store.materialize()\n",
+            path="src/repro/synth/example.py",
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
 # registry and explain
 # --------------------------------------------------------------------- #
 
@@ -474,6 +526,7 @@ class TestRegistry:
     def test_all_rules_registered(self):
         assert sorted(RULES) == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+            "R009",
         ]
 
     def test_every_rule_documented(self):
@@ -541,6 +594,10 @@ VIOLATIONS = {
               "        return fn()\n"
               "    except Exception:\n"
               "        return None\n",
+    ),
+    "R009": (
+        "src/repro/analysis/v9.py",
+        DOC + "def growth(store):\n    return store.materialize()\n",
     ),
 }
 
