@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults lint docscheck typecheck bench bench-smoke bench-gen-smoke bench-stream bench-stream-smoke reproduce reproduce-full clean
+.PHONY: install test test-faults lint lint-changed docscheck typecheck bench bench-smoke bench-gen-smoke bench-stream bench-stream-smoke reproduce reproduce-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,11 @@ lint:
 	@$(PYTHON) -c "import mypy" 2>/dev/null \
 		&& $(PYTHON) -m mypy \
 		|| echo "mypy not installed (pip install -e .[lint]); skipping type check"
+
+# Pre-commit pass: per-file rules over files differing from git HEAD,
+# parses served from the warm .reprolint-cache AST index.
+lint-changed:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro lint --changed
 
 # Documentation link/reference check: dead relative links or stale
 # `repro.*` module references in docs/**/*.md and README.md fail.

@@ -187,8 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
                            "tests/ under --root)")
     lint.add_argument("--root", default=".",
                       help="repository root (default: current directory)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="output format")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", help="output format")
     lint.add_argument("--baseline",
                       help="baseline file of grandfathered findings "
                            "(default: <root>/lint-baseline.txt when present)")
@@ -198,6 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the rationale for one rule id (e.g. R003)")
     lint.add_argument("--list-rules", action="store_true",
                       help="list the registered rules")
+    lint.add_argument("--changed", action="store_true",
+                      help="pre-commit mode: lint only files differing from "
+                           "git HEAD with the per-file rules")
+    lint.add_argument("--jobs", type=int, default=0,
+                      help="worker processes for rule execution "
+                           "(0 = auto, 1 = serial)")
+    lint.add_argument("--no-program", action="store_true",
+                      help="skip the whole-program rules (R010+); used by "
+                           "the CI interpreter matrix")
+    lint.add_argument("--no-index-cache", action="store_true",
+                      help="parse from scratch instead of using the "
+                           ".reprolint-cache AST index")
 
     return parser
 

@@ -57,12 +57,24 @@ from .columns import (
 )
 from .eras import Era, era_by_name
 from .lazy import ColumnBackedDataset
+from .schema import (
+    CONTRACT_KEYS,
+    GLOBAL_KEYS,
+    POST_KEYS,
+    RATING_KEYS,
+    SHARD_KEYS,
+    empty_column,
+)
 from .timeutils import Month
 
 __all__ = [
     "PARTITION_FORMAT_VERSION",
     "MANIFEST_NAME",
     "GLOBAL_SHARD",
+    "CONTRACT_KEYS",
+    "POST_KEYS",
+    "RATING_KEYS",
+    "GLOBAL_KEYS",
     "CorruptStoreError",
     "StaleStoreError",
     "MonthPartition",
@@ -79,24 +91,10 @@ PARTITION_FORMAT_VERSION = 3
 MANIFEST_NAME = "manifest.json"
 GLOBAL_SHARD = "global.npz"
 
-#: Table keys that live in the month shards, bucketed by creation month.
-CONTRACT_KEYS = (
-    "c_id", "c_type", "c_status", "c_visibility", "c_maker", "c_taker",
-    "c_created_us", "c_completed_us", "c_maker_obligation",
-    "c_taker_obligation", "c_terms", "c_maker_rating", "c_taker_rating",
-    "c_thread", "c_btc_address", "c_btc_txhash",
-)
-POST_KEYS = ("p_id", "p_thread", "p_author", "p_created_us", "p_marketplace")
-RATING_KEYS = ("r_contract", "r_rater", "r_ratee", "r_score", "r_created_us")
-
-#: Table keys that live in ``global.npz`` (small, not month-bucketed).
-GLOBAL_KEYS = (
-    "user_id", "user_joined_us", "user_first_post_us", "user_class",
-    "t_id", "t_author", "t_created_us", "t_title", "t_marketplace",
-    "x_txhash", "x_address", "x_timestamp_us", "x_btc",
-)
-
-_SHARD_KEYS = CONTRACT_KEYS + POST_KEYS + RATING_KEYS
+# The key tuples (CONTRACT_KEYS / POST_KEYS / RATING_KEYS / GLOBAL_KEYS)
+# are declared once in :mod:`repro.core.schema` and re-exported here for
+# the established import sites.
+_SHARD_KEYS = SHARD_KEYS
 
 
 class CorruptStoreError(Exception):
@@ -578,23 +576,8 @@ def open_or_quarantine(path: str,
 
 
 def _empty_shard_tables() -> Dict[str, np.ndarray]:
-    """Schema-complete empty shard (dtypes match the generators')."""
-    int64 = np.empty(0, dtype=np.int64)
-    int8 = np.empty(0, dtype=np.int8)
-    text = np.empty(0, dtype=np.str_)
-    return {
-        "c_id": int64, "c_type": int8, "c_status": int8,
-        "c_visibility": int8, "c_maker": int64, "c_taker": int64,
-        "c_created_us": int64, "c_completed_us": int64,
-        "c_maker_obligation": text, "c_taker_obligation": text,
-        "c_terms": text, "c_maker_rating": int8, "c_taker_rating": int8,
-        "c_thread": int64, "c_btc_address": text, "c_btc_txhash": text,
-        "p_id": int64, "p_thread": int64, "p_author": int64,
-        "p_created_us": int64,
-        "p_marketplace": np.empty(0, dtype=np.bool_),
-        "r_contract": int64, "r_rater": int64, "r_ratee": int64,
-        "r_score": int8, "r_created_us": int64,
-    }
+    """Schema-complete empty shard (dtypes from :mod:`repro.core.schema`)."""
+    return {key: empty_column(key) for key in SHARD_KEYS}
 
 
 class PartitionWriter:

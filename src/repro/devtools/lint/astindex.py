@@ -1,0 +1,109 @@
+"""Content-addressed AST index: parse each file once, ever.
+
+Whole-program rules make the linter read every module in the tree, but
+between two lint runs almost nothing changes.  The index keys each
+file's parsed :class:`ast.Module` by the sha256 of its *bytes* and keeps
+the pickled tree on disk (default ``<root>/.reprolint-cache``), so a
+warm run unpickles instead of re-parsing and an edited file invalidates
+exactly itself.  ``hits`` / ``misses`` counters make the behaviour
+assertable — the pre-commit ``repro lint --changed`` path is sub-second
+because a one-file edit costs one parse.
+
+Cache entries are append-only and self-verifying (the content hash *is*
+the name); ``prune`` drops entries no current file hashes to.  Any
+unpicklable/corrupt entry is treated as a miss and rewritten — the
+index can always be deleted wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+import sys
+from typing import Optional, Set
+
+__all__ = ["AstIndex", "DEFAULT_INDEX_DIR"]
+
+#: Directory name of the on-disk index at a lint root.
+DEFAULT_INDEX_DIR = ".reprolint-cache"
+
+#: Bump when the pickle layout must be invalidated wholesale.  The
+#: interpreter version participates because ast pickles are not stable
+#: across feature releases.
+_FORMAT = f"v1-py{sys.version_info[0]}.{sys.version_info[1]}"
+
+
+class AstIndex:
+    """Parse-or-recall cache for python sources, keyed by content hash."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self.hits = 0
+        self.misses = 0
+        self._seen: Set[str] = set()
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    def _entry_path(self, digest: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{digest}-{_FORMAT}.astpkl")
+
+    def parse(self, path: str, text: str) -> ast.Module:
+        """The parsed tree for ``text``; cached by content, not by path.
+
+        ``path`` is only used for syntax-error messages (and must stay
+        repo-relative so errors render identically warm or cold).
+        Raises ``SyntaxError``/``ValueError`` exactly like ``ast.parse``.
+        """
+        if not self.cache_dir:
+            self.misses += 1
+            return ast.parse(text, filename=path)
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        self._seen.add(digest)
+        entry = self._entry_path(digest)
+        try:
+            with open(entry, "rb") as handle:
+                tree = pickle.load(handle)
+            if isinstance(tree, ast.Module):
+                self.hits += 1
+                return tree
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            pass  # missing or corrupt entry: fall through to a parse
+        self.misses += 1
+        tree = ast.parse(text, filename=path)
+        tmp = f"{entry}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(tree, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, entry)
+        except OSError:
+            # A read-only checkout still lints; it just never warms up.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+        return tree
+
+    def prune(self) -> int:
+        """Drop entries not hashed by any ``parse`` call this run."""
+        if not self.cache_dir:
+            return 0
+        removed = 0
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".astpkl"):
+                continue
+            digest = name.split("-", 1)[0]
+            if digest not in self._seen:
+                try:
+                    os.remove(os.path.join(self.cache_dir, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,9 +1,19 @@
 """Rendering and command handling for ``python -m repro lint``.
 
 The argparse wiring lives in :mod:`repro.cli`; this module turns the
-parsed namespace into a lint run and renders the result as human text or
-JSON.  Exit codes: 0 clean, 1 findings (or parse errors), 2 usage
-errors.
+parsed namespace into a lint run and renders the result as human text,
+JSON or SARIF.  Exit codes: 0 clean, 1 findings (or parse errors), 2
+usage errors.
+
+Modes:
+
+* default — every rule over ``src/`` and ``tests/``, whole-program
+  rules included, rules fanned out over forked workers;
+* ``--changed`` — pre-commit mode: only files differing from git HEAD
+  (plus untracked ones) are linted with the per-file rules, parses come
+  from the warm AST index, so the run is sub-second;
+* ``--no-program`` — per-file rules only (the CI matrix runs this on
+  every interpreter; the whole-program pass runs once on one).
 """
 
 from __future__ import annotations
@@ -11,12 +21,15 @@ from __future__ import annotations
 import inspect
 import json
 import os
+import subprocess
 import sys
-from typing import List
+from typing import List, Optional, Set
 
+from .astindex import DEFAULT_INDEX_DIR, AstIndex
 from .engine import DEFAULT_BASELINE_NAME, run_lint
 from .findings import save_baseline
-from .rules import RULES, rule_by_id
+from .rules import RULES, all_rules, rule_by_id
+from .sarif import render_sarif
 
 __all__ = ["run_lint_command"]
 
@@ -43,6 +56,33 @@ def _list_rules() -> int:
     return 0
 
 
+def _git_changed_paths(root: str) -> Optional[Set[str]]:
+    """Repo-relative python paths differing from HEAD (plus untracked).
+
+    Returns ``None`` when git is unavailable or ``root`` is not a
+    work tree — the caller falls back to a full lint.
+    """
+    def run(*argv: str) -> List[str]:
+        proc = subprocess.run(
+            ["git", "-C", root, *argv],
+            capture_output=True, text=True, check=True,
+        )
+        return [line.strip() for line in proc.stdout.splitlines()
+                if line.strip()]
+
+    try:
+        changed = set(run("diff", "--name-only", "--relative", "HEAD", "--"))
+        changed.update(run("ls-files", "--others", "--exclude-standard"))
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {
+        path for path in changed
+        if path.endswith(".py")
+        and path.split("/", 1)[0] in ("src", "tests")
+        and os.path.exists(os.path.join(root, path))
+    }
+
+
 def run_lint_command(args) -> int:
     """Handle the ``lint`` subcommand (see ``repro.cli.build_parser``)."""
     if args.explain:
@@ -61,10 +101,44 @@ def run_lint_command(args) -> int:
         )
         return 2
 
+    index: Optional[AstIndex] = None
+    if not args.no_index_cache:
+        index = AstIndex(os.path.join(root, DEFAULT_INDEX_DIR))
+
+    rules = all_rules()
+    if args.no_program:
+        rules = [rule for rule in rules if not rule.requires_program]
+
+    paths = args.paths or None
+    only_paths: Optional[Set[str]] = None
+    if getattr(args, "changed", False):
+        changed = _git_changed_paths(root)
+        if changed is None:
+            print("lint --changed: not a git work tree, linting everything",
+                  file=sys.stderr)
+        elif not changed:
+            print("reprolint: clean, 0 changed files")
+            return 0
+        else:
+            # Pre-commit mode: per-file rules over just the changed
+            # files.  Whole-program rules need the full tree and run in
+            # CI; skipping them here is what keeps this sub-second.
+            rules = [rule for rule in rules if not rule.requires_program]
+            paths = sorted(changed)
+            only_paths = changed
+
+    jobs = args.jobs
+    if jobs <= 0:
+        jobs = min(4, os.cpu_count() or 1)
+
     result = run_lint(
         root,
-        paths=args.paths or None,
+        paths=paths,
         baseline_path=args.baseline,
+        rules=rules,
+        index=index,
+        jobs=jobs,
+        only_paths=only_paths,
     )
 
     if args.write_baseline:
@@ -84,8 +158,14 @@ def run_lint_command(args) -> int:
             "suppressed": len(result.suppressed),
             "parse_errors": result.parse_errors,
             "exit_code": result.exit_code,
+            "index_hits": result.index_hits,
+            "index_misses": result.index_misses,
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+        return result.exit_code
+
+    if args.format == "sarif":
+        print(json.dumps(render_sarif(result), indent=2, sort_keys=True))
         return result.exit_code
 
     lines: List[str] = []
@@ -100,6 +180,12 @@ def run_lint_command(args) -> int:
         if result.suppressed
         else ""
     )
+    index_note = (
+        f", ast-index {result.index_hits} hits / "
+        f"{result.index_misses} parses"
+        if index is not None
+        else ""
+    )
     verdict = (
         "clean" if result.exit_code == 0
         else f"{len(result.findings)} finding"
@@ -107,6 +193,6 @@ def run_lint_command(args) -> int:
     )
     print(
         f"reprolint: {verdict}{suppressed_note}, "
-        f"{result.files_checked} files checked"
+        f"{result.files_checked} files checked{index_note}"
     )
     return result.exit_code

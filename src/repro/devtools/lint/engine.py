@@ -6,6 +6,25 @@ text and its parsed AST, tagged with a *kind* ("src" / "tests") that
 rules use for scoping.  ``collect_sources`` builds that list from a repo
 root; ``lint_sources`` runs the rule set over any mapping of path ->
 code, which is what the fixture tests use.
+
+Two layers sit on top of the original per-file sweep:
+
+* **AST index** — ``collect_sources`` parses through an optional
+  :class:`~repro.devtools.lint.astindex.AstIndex`, so a warm run
+  unpickles cached trees instead of re-parsing (the counters land in
+  :class:`LintResult` for the CLI and the tests to assert on);
+* **whole-program context** — when any selected rule sets
+  ``requires_program`` the engine builds the shared
+  :class:`~repro.devtools.lint.program.Program` (symbols, call graph,
+  comment maps) once and hands it to each such rule's
+  ``check_program``.
+
+Rules are independent of each other, so ``jobs > 1`` fans them out
+through :func:`repro.robust.parallel.forked_map` — the parsed sources
+and the program index are built in the parent and inherited copy-on-
+write by the forked workers, which return pickled findings.  Output is
+sorted and deduplicated either way, so worker count never changes the
+report.
 """
 
 from __future__ import annotations
@@ -15,7 +34,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
+from .astindex import AstIndex
 from .findings import Finding, load_baseline, split_by_baseline
+from .program import Program, build_program
 from .rules import Rule, all_rules
 
 __all__ = [
@@ -50,6 +71,8 @@ class LintResult:
     suppressed: List[Finding] = field(default_factory=list)  # baselined
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    index_hits: int = 0      # AST-index cache hits (0 without an index)
+    index_misses: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -78,6 +101,7 @@ def lint_sources(
 
     Paths decide rule scope: give fixtures paths like
     ``"src/repro/example.py"`` or ``"tests/test_example.py"``.
+    Whole-program rules see a program built from the ``src/`` fixtures.
     """
     sources = [
         SourceFile(path=path, text=text, tree=_parse(path, text),
@@ -88,26 +112,88 @@ def lint_sources(
 
 
 def _run_rules(
-    sources: Sequence[SourceFile], rules: Sequence[Rule]
+    sources: Sequence[SourceFile],
+    rules: Sequence[Rule],
+    jobs: int = 1,
 ) -> List[Finding]:
-    findings: List[Finding] = []
-    for rule in rules:
-        for source in sources:
-            if source.kind in rule.scope:
-                findings.extend(rule.visit(source))
-        findings.extend(rule.finalize(sources))
+    program: Optional[Program] = None
+    if any(rule.requires_program for rule in rules):
+        program = build_program(sources)
+    if jobs > 1 and len(rules) > 1:
+        findings = _run_rules_parallel(sources, rules, program, jobs)
+    else:
+        findings = []
+        for rule in rules:
+            findings.extend(_run_one_rule(sources, rule, program))
     return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule))
 
 
+def _run_one_rule(
+    sources: Sequence[SourceFile],
+    rule: Rule,
+    program: Optional[Program],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in sources:
+        if source.kind in rule.scope:
+            findings.extend(rule.visit(source))
+    if rule.requires_program and program is not None:
+        findings.extend(rule.check_program(program))
+    findings.extend(rule.finalize(sources))
+    return findings
+
+
+# Parallel rule execution: the parent process builds sources + program
+# once, stashes them in module globals, and forks workers that inherit
+# the state copy-on-write (same pattern as repro.report.experiments).
+# Workers receive only a rule index and return pickled findings.
+_PAR_SOURCES: Optional[Sequence[SourceFile]] = None
+_PAR_RULES: Optional[Sequence[Rule]] = None
+_PAR_PROGRAM: Optional[Program] = None
+
+
+def _run_rule_by_index(index: int) -> List[Finding]:
+    assert _PAR_SOURCES is not None and _PAR_RULES is not None
+    return _run_one_rule(_PAR_SOURCES, _PAR_RULES[index], _PAR_PROGRAM)
+
+
+def _run_rules_parallel(
+    sources: Sequence[SourceFile],
+    rules: Sequence[Rule],
+    program: Optional[Program],
+    jobs: int,
+) -> List[Finding]:
+    from ...robust.parallel import forked_map
+
+    global _PAR_SOURCES, _PAR_RULES, _PAR_PROGRAM
+    _PAR_SOURCES, _PAR_RULES, _PAR_PROGRAM = sources, rules, program
+    try:
+        per_rule = forked_map(
+            _run_rule_by_index,
+            list(range(len(rules))),
+            workers=min(jobs, len(rules)),
+            span="lint.rules",
+        )
+    finally:
+        _PAR_SOURCES = _PAR_RULES = _PAR_PROGRAM = None
+    findings: List[Finding] = []
+    for batch in per_rule:
+        findings.extend(batch)
+    return findings
+
+
 def collect_sources(
-    root: str, paths: Optional[Sequence[str]] = None
+    root: str,
+    paths: Optional[Sequence[str]] = None,
+    index: Optional[AstIndex] = None,
 ) -> "tuple[List[SourceFile], List[str]]":
     """Parse every python file under ``root`` the linter should see.
 
     With no explicit ``paths``, lints ``src/`` and ``tests/`` under the
     root (either may be absent).  Explicit paths — files or directories,
     absolute or root-relative — restrict the sweep but keep the same
-    kind classification, so rule scoping still works.  Returns the
+    kind classification, so rule scoping still works.  An ``index``
+    replaces cold parses with content-addressed unpickles.  Returns the
     parsed sources plus any parse-error descriptions.
     """
     root = os.path.abspath(root)
@@ -125,6 +211,7 @@ def collect_sources(
             if os.path.isdir(subdir):
                 wanted.extend(_walk_py(subdir))
 
+    parse = index.parse if index is not None else _parse
     sources: List[SourceFile] = []
     errors: List[str] = []
     seen: Set[str] = set()
@@ -136,7 +223,7 @@ def collect_sources(
         try:
             with open(absolute, "r", encoding="utf-8") as handle:
                 text = handle.read()
-            tree = _parse(relative, text)
+            tree = parse(relative, text)
         except (OSError, SyntaxError, ValueError) as exc:
             errors.append(f"{relative}: {exc}")
             continue
@@ -165,14 +252,27 @@ def run_lint(
     paths: Optional[Sequence[str]] = None,
     baseline_path: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
+    *,
+    index: Optional[AstIndex] = None,
+    jobs: int = 1,
+    only_paths: Optional[Set[str]] = None,
 ) -> LintResult:
     """Full lint pass over a repo checkout: collect, run rules, baseline.
 
     ``baseline_path=None`` uses ``<root>/lint-baseline.txt`` when it
-    exists; pass ``""`` to ignore any baseline.
+    exists; pass ``""`` to ignore any baseline.  ``only_paths``
+    restricts the *reported* findings to the given repo-relative paths
+    (the ``--changed`` pre-commit mode) while whole-file collection and
+    rule scoping stay unchanged.
     """
-    sources, errors = collect_sources(root, paths)
-    findings = _run_rules(sources, list(rules) if rules is not None else all_rules())
+    sources, errors = collect_sources(root, paths, index=index)
+    findings = _run_rules(
+        sources,
+        list(rules) if rules is not None else all_rules(),
+        jobs=jobs,
+    )
+    if only_paths is not None:
+        findings = [f for f in findings if f.path in only_paths]
     if baseline_path is None:
         candidate = os.path.join(root, DEFAULT_BASELINE_NAME)
         baseline_path = candidate if os.path.exists(candidate) else ""
@@ -183,4 +283,6 @@ def run_lint(
         suppressed=suppressed,
         files_checked=len(sources),
         parse_errors=errors,
+        index_hits=index.hits if index is not None else 0,
+        index_misses=index.misses if index is not None else 0,
     )

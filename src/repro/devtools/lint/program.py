@@ -1,0 +1,679 @@
+"""Whole-program view for reprolint: symbols, call graph, dataflow.
+
+The single-file rules (R001–R009) see one AST at a time; the
+interprocedural rules (R010–R013) need to know *who calls whom* and
+*where values flow*.  This module builds that view once per lint run
+from the already-parsed sources (no re-parsing — the engine shares the
+AST index trees):
+
+* a **symbol table** per module: functions, classes (with methods,
+  dataclass fields, properties) and an import alias map with relative
+  imports resolved to absolute dotted names;
+* a **call graph** with three edge kinds — *resolved* (the callee is a
+  known function/method: direct names, imported names, ``self.m()``,
+  ``Cls(...).m()`` and ``v = Cls(...); v.m()`` patterns), *callback*
+  (a known function passed as an argument, e.g. the worker function
+  handed to ``forked_map``), and *fuzzy* (unresolved attribute calls
+  matched by terminal name, used only to over-approximate
+  reachability, never to propagate values);
+* a **config taint** analysis: starting from parameters annotated with
+  a config dataclass, ``ConfigClass(...)`` constructions and
+  ``.config`` attribute chains, it propagates config values through
+  assignments, tuple unpacking and resolved calls to a fixpoint, and
+  records every ``<config>.<attr>`` read with its location;
+* a **comment map** per file (real ``tokenize`` comments, so strings
+  and docstrings that merely *mention* a marker never count).
+
+Everything is best-effort static analysis: unresolvable dynamic calls
+degrade to fuzzy edges and missing taint, which the rules treat
+conservatively.  The program is built from ``src/`` sources only —
+tests exercise the rules by handing ``lint_sources`` fixture modules
+with ``src/...`` paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "AttrRead",
+    "ClassInfo",
+    "ConfigTaint",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "build_program",
+    "module_name_of",
+]
+
+#: Attribute names that conventionally hold the simulation config on
+#: result/simulator objects (``self.config``, ``result.config``).  An
+#: attribute access ending in one of these is treated as producing a
+#: config value.
+CONFIG_ATTR_NAMES = frozenset({"config", "_config"})
+
+
+def module_name_of(path: str) -> Optional[str]:
+    """Dotted module name for a repo-relative ``src/`` path.
+
+    ``src/repro/synth/cache.py`` -> ``repro.synth.cache``;
+    ``src/repro/core/__init__.py`` -> ``repro.core``.  Non-``src``
+    paths return ``None``.
+    """
+    if not path.startswith("src/") or not path.endswith(".py"):
+        return None
+    parts = path[len("src/"):-len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str                 # e.g. "repro.synth.engine.run_engine"
+    name: str
+    module: str
+    source: "SourceFile"          # noqa: F821
+    node: ast.AST                 # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None     # owning class qualname for methods
+    params: List[str] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its members."""
+
+    qualname: str
+    name: str
+    module: str
+    source: "SourceFile"          # noqa: F821
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    fields: List[str] = field(default_factory=list)      # AnnAssign names
+    properties: Set[str] = field(default_factory=set)
+    decorators: Set[str] = field(default_factory=set)    # terminal names
+
+    @property
+    def is_dataclass(self) -> bool:
+        return "dataclass" in self.decorators
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol table."""
+
+    name: str
+    source: "SourceFile"          # noqa: F821
+    imports: Dict[str, str] = field(default_factory=dict)  # alias -> dotted
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AttrRead:
+    """One ``<config>.<attr>`` read site."""
+
+    attr: str
+    func: str                     # enclosing function qualname
+    path: str
+    node: ast.AST
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dotted_chain(node: ast.AST) -> Tuple[str, ...]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _param_names(node: ast.AST) -> List[str]:
+    args = node.args
+    names = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+    names.extend(a.arg for a in args.kwonlyargs)
+    return names
+
+
+def _comment_map(text: str) -> Dict[int, str]:
+    """Line -> comment text, from real COMMENT tokens only."""
+    comments: Dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+class Program:
+    """The whole-program index rules query."""
+
+    def __init__(self, sources: Sequence["SourceFile"]) -> None:  # noqa: F821
+        self.sources = [s for s in sources if s.kind == "src"]
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.by_name: Dict[str, List[str]] = {}        # bare fn name -> quals
+        self.class_by_name: Dict[str, List[str]] = {}
+        #: caller qualname -> resolved callee qualnames
+        self.edges: Dict[str, Set[str]] = {}
+        #: caller qualname -> functions passed as arguments (callbacks)
+        self.callback_edges: Dict[str, Set[str]] = {}
+        #: caller qualname -> terminal names of unresolved calls
+        self.fuzzy_calls: Dict[str, Set[str]] = {}
+        #: caller qualname -> list of (call node, callee qualname)
+        self.calls: Dict[str, List[Tuple[ast.Call, str]]] = {}
+        self.comments: Dict[str, Dict[int, str]] = {}
+        self._index(self.sources)
+        self._link()
+
+    # ------------------------------------------------------------- #
+    # symbol table
+    # ------------------------------------------------------------- #
+
+    def _index(self, sources) -> None:
+        for source in sources:
+            module = module_name_of(source.path)
+            if module is None:
+                continue
+            info = ModuleInfo(name=module, source=source)
+            info.imports = self._imports_of(module, source)
+            for node in source.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{module}.{node.name}"
+                    fn = FunctionInfo(
+                        qualname=qual, name=node.name, module=module,
+                        source=source, node=node, params=_param_names(node),
+                    )
+                    info.functions[node.name] = fn
+                    self.functions[qual] = fn
+                elif isinstance(node, ast.ClassDef):
+                    self._index_class(info, source, node)
+            self.modules[module] = info
+            self.comments[source.path] = _comment_map(source.text)
+        for qual, fn in self.functions.items():
+            self.by_name.setdefault(fn.name, []).append(qual)
+        for qual, cls in self.classes.items():
+            self.class_by_name.setdefault(cls.name, []).append(qual)
+
+    def _index_class(self, info: ModuleInfo, source, node: ast.ClassDef) -> None:
+        qual = f"{info.name}.{node.name}"
+        cls = ClassInfo(qualname=qual, name=node.name, module=info.name,
+                        source=source, node=node)
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _terminal(target)
+            if name:
+                cls.decorators.add(name)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                mqual = f"{qual}.{item.name}"
+                fn = FunctionInfo(
+                    qualname=mqual, name=item.name, module=info.name,
+                    source=source, node=item, cls=qual,
+                    params=_param_names(item),
+                )
+                cls.methods[item.name] = fn
+                self.functions[mqual] = fn
+                for deco in item.decorator_list:
+                    if _terminal(deco) == "property":
+                        cls.properties.add(item.name)
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                cls.fields.append(item.target.id)
+        info.classes[node.name] = cls
+        self.classes[qual] = cls
+
+    def _imports_of(self, module: str, source) -> Dict[str, str]:
+        imports: Dict[str, str] = {}
+        is_package = source.path.endswith("/__init__.py")
+        package = module.split(".") if is_package else module.split(".")[:-1]
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        imports[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        imports[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = package[: len(package) - (node.level - 1)]
+                else:
+                    base = []
+                prefix = list(base)
+                if node.module:
+                    prefix.extend(node.module.split("."))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports[local] = ".".join(prefix + [alias.name])
+        return imports
+
+    # ------------------------------------------------------------- #
+    # call graph
+    # ------------------------------------------------------------- #
+
+    def _link(self) -> None:
+        for fn in list(self.functions.values()):
+            self._link_function(fn)
+
+    def _resolve_symbol(self, mod: ModuleInfo, name: str) -> Optional[str]:
+        """A bare name in ``mod`` -> function/class qualname, if known."""
+        if name in mod.functions:
+            return mod.functions[name].qualname
+        if name in mod.classes:
+            return mod.classes[name].qualname
+        target = mod.imports.get(name)
+        if target is not None:
+            if target in self.functions or target in self.classes:
+                return target
+        return None
+
+    def resolve_class_of_call(self, mod: ModuleInfo, call: ast.Call
+                              ) -> Optional[str]:
+        """``Cls(...)`` -> the class qualname, when Cls is known."""
+        if isinstance(call.func, ast.Name):
+            target = self._resolve_symbol(mod, call.func.id)
+            if target in self.classes:
+                return target
+        return None
+
+    def _link_function(self, fn: FunctionInfo) -> None:
+        mod = self.modules[fn.module]
+        resolved: Set[str] = set()
+        callbacks: Set[str] = set()
+        fuzzy: Set[str] = set()
+        callpairs: List[Tuple[ast.Call, str]] = []
+        local_classes: Dict[str, str] = {}
+
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                cls_qual = self.resolve_class_of_call(mod, node.value)
+                if cls_qual:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            local_classes[target.id] = cls_qual
+
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._resolve_call(fn, mod, node, local_classes)
+            if target is not None:
+                resolved.add(target)
+                callpairs.append((node, target))
+            else:
+                name = _terminal(node.func)
+                if name:
+                    fuzzy.add(name)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name):
+                    cb = self._resolve_symbol(mod, arg.id)
+                    if cb in self.functions:
+                        callbacks.add(cb)
+
+        self.edges[fn.qualname] = resolved
+        self.callback_edges[fn.qualname] = callbacks
+        self.fuzzy_calls[fn.qualname] = fuzzy
+        self.calls[fn.qualname] = callpairs
+
+    def _class_member(self, cls_qual: str, name: str) -> Optional[str]:
+        cls = self.classes.get(cls_qual)
+        if cls and name in cls.methods:
+            return cls.methods[name].qualname
+        return None
+
+    def _resolve_call(self, fn: FunctionInfo, mod: ModuleInfo,
+                      call: ast.Call, local_classes: Dict[str, str]
+                      ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = self._resolve_symbol(mod, func.id)
+            if target in self.functions:
+                return target
+            if target in self.classes:
+                return self._class_member(target, "__init__") or target
+            return None
+        if isinstance(func, ast.Attribute):
+            # self.m()
+            if isinstance(func.value, ast.Name):
+                base = func.value.id
+                if base == "self" and fn.cls:
+                    member = self._class_member(fn.cls, func.attr)
+                    if member:
+                        return member
+                if base in local_classes:   # v = Cls(...); v.m()
+                    member = self._class_member(local_classes[base], func.attr)
+                    if member:
+                        return member
+                sym = self._resolve_symbol(mod, base)
+                if sym in self.classes:     # Cls.m(...) classmethod style
+                    member = self._class_member(sym, func.attr)
+                    if member:
+                        return member
+            # Cls(...).m()
+            if isinstance(func.value, ast.Call):
+                cls_qual = self.resolve_class_of_call(mod, func.value)
+                if cls_qual:
+                    member = self._class_member(cls_qual, func.attr)
+                    if member:
+                        return member
+            # module alias chains: parallel.forked_map(...), pkg.mod.f(...)
+            chain = _dotted_chain(func)
+            if chain:
+                target = mod.imports.get(chain[0])
+                if target:
+                    candidate = ".".join([target] + list(chain[1:]))
+                    if candidate in self.functions:
+                        return candidate
+                    if candidate in self.classes:
+                        return (self._class_member(candidate, "__init__")
+                                or candidate)
+        return None
+
+    # ------------------------------------------------------------- #
+    # queries
+    # ------------------------------------------------------------- #
+
+    def reachable_from(self, entries: Iterable[str],
+                       fuzzy: bool = True) -> Set[str]:
+        """Transitive closure over resolved + callback (+ fuzzy) edges.
+
+        Fuzzy edges match unresolved attribute calls by bare terminal
+        name, deliberately over-approximating — for rules like R010 a
+        too-large reachable set only widens the checked region.
+        """
+        seen: Set[str] = set()
+        queue = [q for q in entries if q in self.functions
+                 or q in self.classes]
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            targets: Set[str] = set()
+            targets |= self.edges.get(current, set())
+            targets |= self.callback_edges.get(current, set())
+            if fuzzy:
+                for name in self.fuzzy_calls.get(current, ()):
+                    targets.update(self.by_name.get(name, ()))
+            for target in targets:
+                if target not in seen:
+                    queue.append(target)
+        return seen
+
+    def comment_at(self, path: str, lineno: int) -> str:
+        """Comment text on ``lineno`` of ``path`` ('' when none)."""
+        return self.comments.get(path, {}).get(lineno, "")
+
+    def has_marker(self, path: str, lineno: int, marker: str) -> bool:
+        """True when a marker comment sits on ``lineno`` or just above."""
+        return (marker in self.comment_at(path, lineno)
+                or marker in self.comment_at(path, lineno - 1))
+
+
+def build_program(sources: Sequence["SourceFile"]) -> Program:  # noqa: F821
+    """Build the whole-program index from parsed sources."""
+    return Program(sources)
+
+
+# ----------------------------------------------------------------- #
+# config taint
+# ----------------------------------------------------------------- #
+
+
+class ConfigTaint:
+    """Propagate config-dataclass values through the call graph.
+
+    Seeds: parameters annotated with a config class (directly, via
+    ``Optional[...]``, string annotations, or inside a ``Tuple[...]``
+    position), ``ConfigClass(...)`` constructor calls, ``self`` inside
+    config-class methods, and ``.config`` attribute chains.  Values
+    propagate through assignments, ``or``-defaults, conditional
+    expressions, tuple unpacking and *resolved* call edges (positional
+    and keyword arguments) to a fixpoint.  ``reads`` then lists every
+    ``<config>.<attr>`` access with its enclosing function.
+    """
+
+    _MAX_ROUNDS = 10
+
+    def __init__(self, program: Program,
+                 config_classes: Iterable[str]) -> None:
+        self.program = program
+        #: bare class names treated as configs
+        self.config_classes = set(config_classes)
+        #: function qualname -> tainted local names
+        self.tainted: Dict[str, Set[str]] = {}
+        #: function qualname -> container locals -> config positions
+        self.containers: Dict[str, Dict[str, Set[int]]] = {}
+        self.reads: List[AttrRead] = []
+        self._run()
+
+    # -- seeding ---------------------------------------------------- #
+
+    def _annotation_is_config(self, ann: Optional[ast.AST]) -> bool:
+        if ann is None:
+            return False
+        for node in ast.walk(ann):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                name = node.value.strip("'\"")
+            if name in self.config_classes:
+                return True
+        return False
+
+    def _tuple_positions(self, ann: Optional[ast.AST]) -> Set[int]:
+        """Config positions inside a ``Tuple[...]``-style annotation."""
+        if not isinstance(ann, ast.Subscript):
+            return set()
+        if _terminal(ann.value) not in ("Tuple", "tuple"):
+            return set()
+        inner = ann.slice
+        if isinstance(inner, ast.Index):  # py3.8 compat in old pickles
+            inner = inner.value           # pragma: no cover
+        if not isinstance(inner, ast.Tuple):
+            return set()
+        return {
+            i for i, elt in enumerate(inner.elts)
+            if self._annotation_is_config(elt)
+        }
+
+    def _seed_function(self, fn: FunctionInfo) -> None:
+        tainted = self.tainted.setdefault(fn.qualname, set())
+        containers = self.containers.setdefault(fn.qualname, {})
+        node = fn.node
+        args = node.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            if self._annotation_is_config(arg.annotation):
+                positions = self._tuple_positions(arg.annotation)
+                if positions:
+                    containers[arg.arg] = set(positions)
+                else:
+                    tainted.add(arg.arg)
+        if fn.cls:
+            cls = self.program.classes.get(fn.cls)
+            if cls and cls.name in self.config_classes:
+                tainted.add("self")
+
+    # -- expression classification ---------------------------------- #
+
+    def _is_config_expr(self, fn: FunctionInfo, expr: ast.AST) -> bool:
+        tainted = self.tainted.get(fn.qualname, set())
+        if isinstance(expr, ast.Name):
+            return expr.id in tainted
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in CONFIG_ATTR_NAMES:
+                return True
+            return False
+        if isinstance(expr, ast.Call):
+            mod = self.program.modules.get(fn.module)
+            if mod is not None:
+                name = _terminal(expr.func)
+                if name in self.config_classes:
+                    return True
+                cls_qual = self.program.resolve_class_of_call(mod, expr)
+                if cls_qual and self.program.classes[cls_qual].name in \
+                        self.config_classes:
+                    return True
+            return False
+        if isinstance(expr, ast.BoolOp):
+            return any(self._is_config_expr(fn, v) for v in expr.values)
+        if isinstance(expr, ast.IfExp):
+            return (self._is_config_expr(fn, expr.body)
+                    or self._is_config_expr(fn, expr.orelse))
+        if isinstance(expr, ast.NamedExpr):
+            return self._is_config_expr(fn, expr.value)
+        return False
+
+    # -- per-function propagation ----------------------------------- #
+
+    def _propagate_function(self, fn: FunctionInfo) -> bool:
+        """One pass of local assignment propagation; True on change."""
+        changed = False
+        tainted = self.tainted.setdefault(fn.qualname, set())
+        containers = self.containers.setdefault(fn.qualname, {})
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.AnnAssign):
+                if (isinstance(node.target, ast.Name)
+                        and self._annotation_is_config(node.annotation)
+                        and node.target.id not in tainted):
+                    tainted.add(node.target.id)
+                    changed = True
+                continue
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if (self._is_config_expr(fn, value)
+                            and target.id not in tainted):
+                        tainted.add(target.id)
+                        changed = True
+                    if (isinstance(value, ast.Name)
+                            and value.id in containers
+                            and target.id not in containers):
+                        containers[target.id] = set(containers[value.id])
+                        changed = True
+                elif isinstance(target, ast.Tuple):
+                    positions: Set[int] = set()
+                    if isinstance(value, ast.Name) and value.id in containers:
+                        positions = containers[value.id]
+                    for i, elt in enumerate(target.elts):
+                        if not isinstance(elt, ast.Name):
+                            continue
+                        hit = i in positions
+                        if (isinstance(value, ast.Tuple)
+                                and i < len(value.elts)
+                                and self._is_config_expr(fn, value.elts[i])):
+                            hit = True
+                        if hit and elt.id not in tainted:
+                            tainted.add(elt.id)
+                            changed = True
+        return changed
+
+    # -- interprocedural propagation -------------------------------- #
+
+    def _call_argument_seeds(self, fn: FunctionInfo) -> bool:
+        """Push tainted arguments into resolved callees' parameters."""
+        changed = False
+        containers = self.containers.get(fn.qualname, {})
+        for call, target in self.program.calls.get(fn.qualname, ()):
+            callee = self.program.functions.get(target)
+            if callee is None:
+                continue
+            params = list(callee.params)
+            if callee.is_method and params and params[0] in ("self", "cls"):
+                params = params[1:]
+            callee_tainted = self.tainted.setdefault(callee.qualname, set())
+            callee_containers = self.containers.setdefault(
+                callee.qualname, {}
+            )
+            for i, arg in enumerate(call.args):
+                if i >= len(params) or isinstance(arg, ast.Starred):
+                    break
+                if self._is_config_expr(fn, arg):
+                    if params[i] not in callee_tainted:
+                        callee_tainted.add(params[i])
+                        changed = True
+                if isinstance(arg, ast.Name) and arg.id in containers:
+                    if params[i] not in callee_containers:
+                        callee_containers[params[i]] = set(
+                            containers[arg.id]
+                        )
+                        changed = True
+            for kw in call.keywords:
+                if kw.arg is None:
+                    continue
+                if kw.arg in callee.params and self._is_config_expr(
+                    fn, kw.value
+                ):
+                    if kw.arg not in callee_tainted:
+                        callee_tainted.add(kw.arg)
+                        changed = True
+        return changed
+
+    # -- driver ----------------------------------------------------- #
+
+    def _run(self) -> None:
+        for fn in self.program.functions.values():
+            self._seed_function(fn)
+        for _ in range(self._MAX_ROUNDS):
+            changed = False
+            for fn in self.program.functions.values():
+                # two local passes: ast.walk order is not execution order
+                if self._propagate_function(fn):
+                    changed = True
+                    self._propagate_function(fn)
+                if self._call_argument_seeds(fn):
+                    changed = True
+            if not changed:
+                break
+        for fn in self.program.functions.values():
+            self._collect_reads(fn)
+
+    def _collect_reads(self, fn: FunctionInfo) -> None:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in CONFIG_ATTR_NAMES:
+                continue  # the access *produces* a config, not a field
+            if node.attr.startswith("__"):
+                continue
+            if self._is_config_expr(fn, node.value):
+                self.reads.append(AttrRead(
+                    attr=node.attr, func=fn.qualname,
+                    path=fn.source.path, node=node,
+                ))

@@ -74,13 +74,21 @@ def _int_args(call: ast.Call, count: int) -> Optional[Tuple[int, ...]]:
 
 
 class Rule:
-    """Base class: subclasses override ``visit`` and/or ``finalize``."""
+    """Base class: subclasses override ``visit`` and/or ``finalize``.
+
+    Whole-program rules (:mod:`repro.devtools.lint.rules_program`) set
+    ``requires_program`` and implement ``check_program`` instead; the
+    engine builds the shared :class:`~repro.devtools.lint.program.
+    Program` index once when any selected rule asks for it.
+    """
 
     id: str = ""
     name: str = ""
     severity: str = "error"
     #: Which file kinds the per-file ``visit`` hook receives.
     scope: Tuple[str, ...] = ("src",)
+    #: True for rules that run on the whole-program index.
+    requires_program: bool = False
 
     def visit(self, source: "SourceFile") -> Iterator[Finding]:  # noqa: F821
         return iter(())
@@ -709,6 +717,12 @@ RULES: Dict[str, type] = {
         FullStoreMaterialize,
     )
 }
+
+# The whole-program rules (R010–R014) live in rules_program; the import
+# sits below the registry so rules_program can import Rule from here.
+from .rules_program import PROGRAM_RULES  # noqa: E402
+
+RULES.update(PROGRAM_RULES)
 
 
 def all_rules() -> List[Rule]:

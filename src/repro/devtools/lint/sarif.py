@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 rendering of a lint run.
+
+SARIF (Static Analysis Results Interchange Format) is the one format
+code-hosting CI understands natively: uploading a ``.sarif`` file turns
+each finding into an inline annotation on the pull-request diff.  The
+renderer keeps to the minimal stable subset — one run, one driver, one
+result per finding, rule metadata from the registered rule docstrings —
+so the output validates against the 2.1.0 schema without dragging in a
+dependency.  Baseline-suppressed findings are emitted with a
+``suppressions`` entry instead of being dropped, which is how SARIF
+viewers distinguish "fixed" from "hidden".
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, List
+
+from .findings import Finding
+from .rules import RULES
+
+__all__ = ["render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_metadata() -> List[Dict[str, object]]:
+    rules = []
+    for rule_id in sorted(RULES):
+        rule_cls = RULES[rule_id]
+        doc = inspect.getdoc(rule_cls) or ""
+        headline = doc.splitlines()[0] if doc else rule_id
+        rules.append({
+            "id": rule_id,
+            "name": rule_cls.name or rule_id,
+            "shortDescription": {"text": headline},
+            "fullDescription": {"text": doc},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(rule_cls.severity, "error"),
+            },
+        })
+    return rules
+
+
+def _result(finding: Finding, suppressed: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+    if suppressed:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "listed in lint-baseline.txt",
+        }]
+    return result
+
+
+def render_sarif(result: "LintResult") -> Dict[str, object]:  # noqa: F821
+    """The SARIF document for one lint run, as a JSON-ready dict."""
+    results = [_result(f, suppressed=False) for f in result.findings]
+    results.extend(_result(f, suppressed=True) for f in result.suppressed)
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri": "docs/linting.md",
+                    "rules": _rule_metadata(),
+                },
+            },
+            "results": results,
+            "columnKind": "unicodeCodePoints",
+        }],
+    }

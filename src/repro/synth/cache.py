@@ -116,9 +116,27 @@ def default_cache_dir() -> str:
     return os.path.join(os.path.expanduser("~"), ".cache", "repro")
 
 
+#: Config fields deliberately *excluded* from the structural fingerprint.
+#: Anything listed here changes generated output for cache purposes not
+#: at all — runtime knobs only (worker counts live outside the config
+#: dataclass precisely so they never need an entry).  Every entry must
+#: carry a ``cache-key`` justification comment on its line; reprolint
+#: R010 cross-checks that no excluded field is actually read by
+#: generation code reachable from the engine entry points.
+NON_STRUCTURAL_FIELDS: "frozenset[str]" = frozenset()
+
+
 def config_fingerprint(config: SimulationConfig) -> str:
-    """SHA-256 over the canonical JSON of the full configuration."""
-    payload = json.dumps(asdict(config), sort_keys=True, default=str)
+    """SHA-256 over the canonical JSON of the structural configuration.
+
+    Structural means every field of :class:`SimulationConfig` except
+    the explicit :data:`NON_STRUCTURAL_FIELDS` exclusions (currently
+    none), so *any* config override produces a distinct cache entry.
+    """
+    fields = asdict(config)
+    for name in NON_STRUCTURAL_FIELDS:
+        fields.pop(name, None)
+    payload = json.dumps(fields, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -526,7 +526,7 @@ class TestRegistry:
     def test_all_rules_registered(self):
         assert sorted(RULES) == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-            "R009",
+            "R009", "R010", "R011", "R012", "R013", "R014",
         ]
 
     def test_every_rule_documented(self):
