@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults lint lint-changed docscheck typecheck bench bench-smoke bench-gen-smoke bench-stream bench-stream-smoke reproduce reproduce-full clean
+.PHONY: install test test-faults runs-smoke lint lint-changed docscheck typecheck bench bench-smoke bench-gen-smoke bench-stream bench-stream-smoke reproduce reproduce-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,15 @@ test:
 test-faults:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m pytest \
 		tests/test_robust.py tests/test_cache_robust.py tests/test_faults.py -q
+
+# Run-store round trip on a tiny market (see docs/run-contract.md):
+# record the same report twice, then list, show and diff the two runs.
+# The diff must exit 0 with zero metric deltas — byte-identical reruns
+# are the store's reproducibility contract.
+runs-smoke:
+	PYTHONPATH=src:$(PYTHONPATH) REPRO_RUNS_DIR=.runs-smoke/runs \
+		REPRO_CACHE_DIR=.runs-smoke/cache $(PYTHON) scripts/runs_smoke.py
+	rm -rf .runs-smoke
 
 # Project-specific invariant checks (reprolint) plus mypy when installed.
 # `pip install -e .[lint]` pulls mypy in; without it only reprolint runs.

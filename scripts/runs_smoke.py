@@ -1,0 +1,67 @@
+"""CI smoke for the run store: tiny report twice -> list/show/diff.
+
+Drives the public CLI only (``repro report`` / ``repro runs``), exactly
+as a user would, against throwaway ``REPRO_RUNS_DIR`` /
+``REPRO_CACHE_DIR`` roots the Makefile target provides.  The acceptance
+bar is the store's reproducibility contract from
+``docs/run-contract.md``: two invocations of the same (seed, config)
+must land in adjacent run slots and diff to **zero** metric deltas with
+``runs diff`` exiting 0.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from contextlib import redirect_stdout
+
+from repro.cli import main
+
+SCALE, SEED = "0.004", "9"
+REPORT = [
+    "report", "table1", "fig01",
+    "--scale", SCALE, "--seed", SEED, "--no-posts",
+]
+
+
+def run(argv, expect=0):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(argv)
+    text = out.getvalue()
+    if code != expect:
+        sys.stderr.write(text)
+        raise SystemExit(
+            f"FAIL: {' '.join(argv)} exited {code}, expected {expect}"
+        )
+    return text
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+
+
+def main_smoke() -> None:
+    run(REPORT)
+    run(REPORT)
+
+    ids = run(["runs", "list", "--format", "ids"]).split()
+    check(len(ids) == 2, f"expected 2 recorded runs, got {ids}")
+    check(ids[1] == f"{ids[0]}-2",
+          f"rerun did not land in the adjacent slot: {ids}")
+
+    shown = run(["runs", "show", ids[0]])
+    check("status    : complete" in shown, "run not sealed complete")
+    check("table1" in shown and "fig01" in shown,
+          "per-experiment table missing ids")
+
+    diffed = run(["runs", "diff", ids[0], ids[1]])
+    check("runs match: 0 metric deltas" in diffed,
+          f"identical reruns must diff to zero:\n{diffed}")
+
+    print(f"runs smoke ok: {ids[0]} vs {ids[1]} — 0 metric deltas")
+
+
+if __name__ == "__main__":
+    main_smoke()

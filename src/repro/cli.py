@@ -12,6 +12,10 @@ Usage::
     python -m repro stream funnel --era covid-19 --scale 1       # opens 4 months only
     python -m repro stream growth --window 2019-03 2020-03       # windowed query
     python -m repro trace show run_manifest.json                 # render a manifest
+    python -m repro runs list --seed 7                           # query the run store
+    python -m repro runs show <run-id>                           # one run in detail
+    python -m repro runs diff <run-a> <run-b>                    # metric deltas
+    python -m repro runs resume <run-id>                         # finish an interrupted sweep
     python -m repro summary --data market/                       # dataset overview
     python -m repro eras --scale 0.05                            # per-era profiles
     python -m repro lint                                         # invariant checks
@@ -110,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit non-zero when any experiment failed "
                              "(without this flag failures are reported in "
                              "the output and manifest but the run exits 0)")
+    _run_store_args(report)
 
     stream = commands.add_parser(
         "stream",
@@ -137,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--trace", action="store_true",
                         help="print span timings and partition.opened "
                              "counters after the run")
+    _run_store_args(stream)
 
     summary = commands.add_parser("summary", help="print a dataset overview")
     _market_args(summary)
@@ -165,8 +171,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_show.add_argument(
         "manifest",
-        help="manifest file, or a directory containing run_manifest.json",
+        help="manifest file, a directory containing run_manifest.json, "
+             "or a run id from the run store",
     )
+    trace_show.add_argument("--runs-dir",
+                            help="run store root used to resolve run ids "
+                                 "(default: $REPRO_RUNS_DIR or "
+                                 "~/.cache/repro/runs)")
+
+    runs = commands.add_parser(
+        "runs",
+        help="query the persistent run store: list, show, diff, resume",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_sub.add_parser(
+        "list", help="list stored runs, filterable by config/seed/era"
+    )
+    _runs_dir_arg(runs_list)
+    runs_list.add_argument("--command", dest="filter_command",
+                           choices=("report", "stream"),
+                           help="only runs of this command")
+    runs_list.add_argument("--seed", type=int, help="only this seed")
+    runs_list.add_argument("--scale", type=float, help="only this scale")
+    runs_list.add_argument("--config", metavar="PREFIX",
+                           help="only runs whose config sha256 starts with "
+                                "PREFIX")
+    runs_list.add_argument("--era", metavar="NAME",
+                           help="only runs restricted to this era")
+    runs_list.add_argument("--status",
+                           choices=("running", "complete", "failed"),
+                           help="only runs in this state")
+    runs_list.add_argument("--format", choices=("table", "ids"),
+                           default="table",
+                           help="'ids' prints one run id per line (for "
+                                "scripting)")
+
+    runs_show = runs_sub.add_parser(
+        "show", help="render one run: provenance, per-experiment results"
+    )
+    _runs_dir_arg(runs_show)
+    runs_show.add_argument("run_id", help="run id (see 'runs list')")
+    runs_show.add_argument("--trace", action="store_true",
+                           help="also render the run's manifest (traced "
+                                "runs only)")
+
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="compare two runs' metrics experiment by experiment "
+             "(exit 1 when they differ)",
+    )
+    _runs_dir_arg(runs_diff)
+    runs_diff.add_argument("a", help="first run id")
+    runs_diff.add_argument("b", help="second run id")
+    runs_diff.add_argument("--tolerance", type=float, default=0.0,
+                           metavar="EPS",
+                           help="treat |delta| <= EPS as equal "
+                                "(default: 0 = exact)")
+    runs_diff.add_argument("--ids", nargs="*", metavar="ID",
+                           help="restrict the comparison to these "
+                                "experiment ids")
+
+    runs_resume = runs_sub.add_parser(
+        "resume",
+        help="finish an interrupted sweep: re-run only the experiments "
+             "without an ok result, under the run's recorded retry policy",
+    )
+    _runs_dir_arg(runs_resume)
+    runs_resume.add_argument("run_id", help="run id (see 'runs list')")
+    runs_resume.add_argument("--cache-dir",
+                             help="dataset cache root (default: "
+                                  "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    runs_resume.add_argument("--parallel", type=int, default=None,
+                             metavar="N",
+                             help="override the recorded worker count")
 
     docscheck = commands.add_parser(
         "docscheck",
@@ -212,6 +290,18 @@ def build_parser() -> argparse.ArgumentParser:
                            ".reprolint-cache AST index")
 
     return parser
+
+
+def _runs_dir_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--runs-dir",
+                     help="run store root (default: $REPRO_RUNS_DIR or "
+                          "~/.cache/repro/runs)")
+
+
+def _run_store_args(sub: argparse.ArgumentParser) -> None:
+    _runs_dir_arg(sub)
+    sub.add_argument("--no-run-store", action="store_true",
+                     help="don't record this invocation in the run store")
 
 
 def _market_args(sub: argparse.ArgumentParser) -> None:
@@ -320,8 +410,6 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from .report.experiments import run_all_experiments
-
     wanted = args.ids if args.ids and "all" not in args.ids else list(EXPERIMENTS)
     unknown = [i for i in wanted if i not in EXPERIMENTS]
     if unknown:
@@ -386,8 +474,36 @@ def _cmd_report(args) -> int:
         timeout_seconds=args.timeout,
     )
     ctx = ExperimentContext(result, latent_k=args.latent_k)
-    runs = run_all_experiments(
-        ctx, wanted, parallel=max(1, args.parallel), policy=policy
+
+    import platform
+
+    from .runs import RunContext, RunStore
+    from .runs.runner import detect_git_rev, execute_run
+    from .synth.cache import config_fingerprint
+
+    context = RunContext(
+        command="report",
+        config_sha256=config_fingerprint(result.config),
+        seed=args.seed,
+        scale=args.scale,
+        engine=result.config.resolved_engine,
+        store="resident" if args.no_cache else getattr(args, "store", "resident"),
+        experiments=tuple(wanted),
+        latent_k=args.latent_k,
+        package_version=__version__,
+        python_version=platform.python_version(),
+        git_rev=detect_git_rev(),
+        parallel=max(1, args.parallel),
+        max_retries=max(0, args.retries),
+        retry_backoff=max(0.0, args.retry_backoff),
+        timeout_seconds=args.timeout,
+        config={"scale": args.scale, "seed": args.seed,
+                **_engine_overrides(args)},
+    )
+    runs_store = None if args.no_run_store else RunStore(args.runs_dir)
+    record, runs = execute_run(
+        runs_store, context, ctx, policy=policy,
+        created_unix=run_started_unix,
     )
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -423,8 +539,6 @@ def _cmd_report(args) -> int:
             )
 
     if tracer is not None:
-        import platform
-
         from .obs import (
             RunManifest,
             peak_rss_bytes,
@@ -432,11 +546,11 @@ def _cmd_report(args) -> int:
             render_timing_tree,
             write_manifest,
         )
-        from .synth.cache import config_fingerprint
 
         manifest = RunManifest(
             command="report",
             config_sha256=config_fingerprint(result.config),
+            run_id=record.run_id if record is not None else None,
             seed=args.seed,
             scale=args.scale,
             package_version=__version__,
@@ -465,6 +579,10 @@ def _cmd_report(args) -> int:
             spans=[record.to_dict() for record in tracer.roots],
         )
         manifest_path = write_manifest(manifest, args.out or ".")
+        if record is not None:
+            # The tracer manifest also lands inside the run directory, so
+            # `runs show --trace` finds it without a separate --out.
+            write_manifest(manifest, record.manifest_path())
         print("", file=sys.stderr)
         print("timing tree:", file=sys.stderr)
         for line in render_timing_tree(tracer.roots):
@@ -473,16 +591,18 @@ def _cmd_report(args) -> int:
         for line in render_counters(tracer.counters, tracer.gauges):
             print("  " + line, file=sys.stderr)
         print(f"manifest: {manifest_path}", file=sys.stderr)
+    if record is not None:
+        print(f"run: {record.run_id} [{record.status}] -> {record.path}",
+              file=sys.stderr)
+        print(f"     inspect with: repro runs show {record.run_id}",
+              file=sys.stderr)
     if failed and args.strict:
         return 1
     return 0
 
 
 def _cmd_stream(args) -> int:
-    from .report.stream_experiments import (
-        STREAM_EXPERIMENTS,
-        run_stream_experiment,
-    )
+    from .report.stream_experiments import STREAM_EXPERIMENTS
 
     wanted = (
         list(STREAM_EXPERIMENTS) if "all" in args.ids else args.ids
@@ -501,6 +621,7 @@ def _cmd_stream(args) -> int:
         tracer = enable_tracing()
     from .synth.cache import cached_partitioned_store
 
+    run_started_unix = time.time()
     started = time.time()
     store, hit = cached_partitioned_store(
         scale=args.scale,
@@ -516,18 +637,53 @@ def _cmd_stream(args) -> int:
         file=sys.stderr,
     )
     start, end = args.window if args.window else (None, None)
+
+    import platform
+
+    from .runs import RunContext, RunStore
+    from .runs.runner import detect_git_rev, execute_stream_run
+    from .synth.cache import config_fingerprint
+
+    config = SimulationConfig(
+        scale=args.scale, seed=args.seed, **_engine_overrides(args)
+    )
+    params = {}
+    if args.era:
+        params["era"] = args.era
+    if start or end:
+        params["start"], params["end"] = start, end
+    context = RunContext(
+        command="stream",
+        config_sha256=config_fingerprint(config),
+        seed=args.seed,
+        scale=args.scale,
+        engine=config.resolved_engine,
+        store="partitioned",
+        experiments=tuple(f"stream-{i}" for i in wanted),
+        package_version=__version__,
+        python_version=platform.python_version(),
+        git_rev=detect_git_rev(),
+        params=params,
+        config={"scale": args.scale, "seed": args.seed,
+                **_engine_overrides(args)},
+    )
+    runs_store = None if args.no_run_store else RunStore(args.runs_dir)
+    record, results = execute_stream_run(
+        runs_store, context, store, created_unix=run_started_unix
+    )
+
     if args.out:
         os.makedirs(args.out, exist_ok=True)
-    for experiment_id in wanted:
-        report = run_stream_experiment(
-            experiment_id, store, start=start, end=end, era=args.era
-        )
-        print(report.text())
+    for result in results:
+        print(result.text())
         print()
         if args.out:
-            path = os.path.join(args.out, f"{report.experiment_id}.txt")
+            path = os.path.join(args.out, f"{result.experiment_id}.txt")
             with open(path, "w", encoding="utf-8") as handle:
-                handle.write(report.text() + "\n")
+                handle.write(result.text() + "\n")
+    if record is not None:
+        print(f"run: {record.run_id} [{record.status}] -> {record.path}",
+              file=sys.stderr)
 
     if tracer is not None:
         from .obs import render_counters, render_timing_tree
@@ -542,16 +698,128 @@ def _cmd_stream(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from .obs import read_manifest, render_manifest
+    from .obs import render_manifest
+    from .runs import load_manifest
 
     try:
-        manifest = read_manifest(args.manifest)
+        manifest = load_manifest(args.manifest, getattr(args, "runs_dir", None))
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     for line in render_manifest(manifest):
         print(line)
     return 0
+
+
+def _cmd_runs(args) -> int:
+    handlers = {
+        "list": _cmd_runs_list,
+        "show": _cmd_runs_show,
+        "diff": _cmd_runs_diff,
+        "resume": _cmd_runs_resume,
+    }
+    return handlers[args.runs_command](args)
+
+
+def _cmd_runs_list(args) -> int:
+    from .runs import RunStore, render_runs_table
+
+    store = RunStore(args.runs_dir)
+    records = store.list_runs(
+        command=args.filter_command,
+        seed=args.seed,
+        scale=args.scale,
+        config_prefix=args.config,
+        era=args.era,
+        status=args.status,
+    )
+    if args.format == "ids":
+        for record in records:
+            print(record.run_id)
+        return 0
+    for line in render_runs_table(records):
+        print(line)
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    from .runs import (
+        CorruptRunError,
+        RunStore,
+        UnknownRunError,
+        load_manifest,
+        render_run,
+    )
+    from .robust import quarantine_dir
+
+    store = RunStore(args.runs_dir)
+    try:
+        record = store.load(args.run_id, verify=True)
+    except UnknownRunError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CorruptRunError as exc:
+        quarantined = quarantine_dir(
+            store.path_for(args.run_id), counter="runs.corrupt"
+        )
+        print(f"error: corrupt run: {exc}", file=sys.stderr)
+        if quarantined:
+            print(f"quarantined to {quarantined}", file=sys.stderr)
+        return 1
+    for line in render_run(record):
+        print(line)
+    if args.trace:
+        from .obs import render_manifest
+
+        try:
+            manifest = load_manifest(args.run_id, args.runs_dir)
+        except (OSError, ValueError) as exc:
+            print(f"\nno manifest: {exc}", file=sys.stderr)
+            return 0
+        print()
+        for line in render_manifest(manifest):
+            print(line)
+    return 0
+
+
+def _cmd_runs_diff(args) -> int:
+    from .runs import RunsError, RunStore, diff_runs, render_run_diff
+
+    store = RunStore(args.runs_dir)
+    try:
+        a = store.load(args.a)
+        b = store.load(args.b)
+    except RunsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_runs(a, b, tolerance=args.tolerance,
+                     experiments=args.ids or None)
+    for line in render_run_diff(diff):
+        print(line)
+    return 0 if diff.identical else 1
+
+
+def _cmd_runs_resume(args) -> int:
+    from .runs import RunsError, RunStore
+    from .runs.runner import resume_run
+
+    store = RunStore(args.runs_dir)
+    try:
+        record, rerun = resume_run(
+            store,
+            args.run_id,
+            cache_dir=args.cache_dir,
+            parallel=args.parallel,
+        )
+    except RunsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if rerun:
+        print(f"re-executed {len(rerun)} experiment(s): {', '.join(rerun)}")
+    else:
+        print("nothing to do: every experiment already has an ok result")
+    print(f"run: {record.run_id} [{record.status}] -> {record.path}")
+    return 0 if record.status == "complete" else 1
 
 
 def _cmd_docscheck(args) -> int:
@@ -638,6 +906,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export-csv": _cmd_export_csv,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
+        "runs": _cmd_runs,
         "docscheck": _cmd_docscheck,
     }
     return handlers[args.command](args)

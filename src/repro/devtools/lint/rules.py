@@ -195,15 +195,20 @@ class WallClockInLibrary(Rule):
     """R002 wall-clock-in-library: library code must not read the wall
     clock.
 
-    ``time.time()``, ``datetime.now()``, ``datetime.today()``,
-    ``date.today()`` and ``datetime.utcnow()`` make output depend on when
-    the code runs, which breaks run-to-run reproducibility and poisons
-    the dataset cache (results keyed by config would differ by wall
-    time).  Timing is a presentation concern: it is allowed in
-    ``cli.py`` (progress messages) and under ``benchmarks/``.
-    Monotonic *interval* clocks (``time.perf_counter`` /
-    ``time.monotonic``) are always allowed — they measure durations, not
-    calendar time.
+    ``time.time()``, ``time.time_ns()``, ``datetime.now()``,
+    ``datetime.today()``, ``date.today()`` and ``datetime.utcnow()``
+    make output depend on when the code runs, which breaks run-to-run
+    reproducibility and poisons the dataset cache (results keyed by
+    config would differ by wall time).  The same discipline keeps
+    ``repro.runs`` ids stable: run identity is derived from the
+    persisted :class:`~repro.runs.contract.RunContext` (config
+    fingerprint, seed, scale, experiment set), never from timestamps —
+    ``created_unix`` provenance stamps are passed in by the CLI, the
+    one layer allowed to read the clock.  Timing is a presentation
+    concern: it is allowed in ``cli.py`` (progress messages) and under
+    ``benchmarks/``.  Monotonic *interval* clocks
+    (``time.perf_counter`` / ``time.monotonic``) are always allowed —
+    they measure durations, not calendar time.
     """
 
     id = "R002"
@@ -223,12 +228,12 @@ class WallClockInLibrary(Rule):
             if not isinstance(node, ast.Call):
                 continue
             chain = _dotted(node.func)
-            if chain == ("time", "time"):
+            if chain in (("time", "time"), ("time", "time_ns")):
                 yield self.finding(
                     source, node,
-                    "time.time() in library code — wall-clock reads belong "
-                    "in cli.py or benchmarks/ (use time.perf_counter for "
-                    "intervals)",
+                    f"{'.'.join(chain)}() in library code — wall-clock "
+                    "reads belong in cli.py or benchmarks/ (use "
+                    "time.perf_counter for intervals)",
                 )
             elif (
                 len(chain) >= 2

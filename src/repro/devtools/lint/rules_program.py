@@ -104,6 +104,13 @@ class CacheKeyCompleteness(ProgramRule):
     attributes that are neither fields, properties nor methods of any
     config class are flagged too — they are typos the type checker may
     miss on dynamic paths.
+
+    The ``repro.runs`` orchestrators (``execute_run``,
+    ``execute_stream_run``, ``resume_run``) are entry points too: a
+    resumed run must land on the same cached dataset as the original
+    invocation, which only holds while every config field they cause to
+    be read is covered by the fingerprint that run ids and cache keys
+    are both derived from.
     """
 
     id = "R010"
@@ -114,6 +121,9 @@ class CacheKeyCompleteness(ProgramRule):
     _ENTRY_NAMES = {
         "run_engine", "cached_generate", "cached_partitioned_store",
         "stream_partitioned", "generate_market",
+        # repro.runs orchestration: resume re-derives the dataset from
+        # the persisted RunContext, so its config reads must be keyed.
+        "execute_run", "execute_stream_run", "resume_run",
     }
 
     def _entries(self, program: Program) -> Set[str]:

@@ -57,6 +57,11 @@ class RunManifest:
     version: int = MANIFEST_VERSION
     python_version: str = ""
     created_unix: Optional[float] = None
+    #: Id of the run-store entry this manifest belongs to (``repro runs
+    #: show <run_id>``); ``None`` for pre-run-store manifests and
+    #: invocations recorded with ``--no-run-store``.  Optional and
+    #: ignored by old readers, so the schema version is unchanged.
+    run_id: Optional[str] = None
     params: Dict[str, Any] = field(default_factory=dict)
     dataset: Dict[str, int] = field(default_factory=dict)
     experiments: List[Dict[str, Any]] = field(default_factory=list)

@@ -108,6 +108,10 @@ def render_manifest(manifest: RunManifest) -> List[str]:
     lines = [
         f"run manifest (schema v{manifest.version})",
         f"  command          {manifest.command}",
+    ]
+    if manifest.run_id:
+        lines.append(f"  run id           {manifest.run_id}")
+    lines += [
         f"  created          {_stamp(manifest.created_unix)}",
         f"  package          repro {manifest.package_version}"
         + (f" / python {manifest.python_version}" if manifest.python_version else ""),

@@ -47,6 +47,7 @@ from ..network.powerlaw import fit_power_law
 from ..obs.tracer import get_tracer
 from ..robust.parallel import forked_map
 from ..robust.retry import RetryPolicy, run_with_policy
+from ..runs.contract import ExperimentResult, result_from_outcome
 from ..synth.marketsim import SimulationResult
 from .figures import render_series, sparkline
 from .tables import format_count_share, format_pct, format_usd, render_table
@@ -54,6 +55,7 @@ from .tables import format_count_share, format_pct, format_usd, render_table
 __all__ = [
     "ExperimentReport",
     "ExperimentContext",
+    "ExperimentResult",
     "ExperimentRun",
     "EXPERIMENTS",
     "run_experiment",
@@ -840,39 +842,13 @@ def run_experiment(experiment_id: str, ctx: ExperimentContext) -> ExperimentRepo
 # --------------------------------------------------------------------- #
 
 
-@dataclass
-class ExperimentRun:
-    """One experiment's output plus its wall-clock cost and fate.
-
-    ``trace`` carries the child tracer snapshot (spans/counters/gauges,
-    see :meth:`repro.obs.Tracer.snapshot`) when the experiment ran in a
-    forked worker under an enabled tracer; it is ``None`` for serial
-    runs (whose spans land directly on the parent tracer) and whenever
-    tracing is disabled.
-
-    ``error`` is ``None`` for a successful run.  A failed experiment
-    does **not** abort the batch: it comes back with ``error`` holding
-    a picklable payload (``type``/``message``/``traceback``/``attempts``
-    /``failures``) and placeholder ``lines``, and the manifest records
-    the same payload.  ``attempts`` counts executions including
-    retries (1 = succeeded first try).
-    """
-
-    experiment_id: str
-    title: str
-    lines: List[str]
-    seconds: float
-    trace: Optional[Dict[str, Any]] = None
-    error: Optional[Dict[str, Any]] = None
-    attempts: int = 1
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None
-
-    @property
-    def report(self) -> ExperimentReport:
-        return ExperimentReport(self.experiment_id, self.title, self.lines)
+#: Historical name for the typed result: the batch runner now speaks the
+#: run-contract (:mod:`repro.runs.contract`) end to end, and the
+#: ``ExperimentRun`` objects it always returned *are* the contract's
+#: :class:`~repro.runs.contract.ExperimentResult` — same field order,
+#: same ``ok``/``report`` surface, plus the metrics/artifact fields the
+#: run store persists.
+ExperimentRun = ExperimentResult
 
 
 #: Context shared with forked workers (copy-on-write; set by the parent
@@ -883,8 +859,8 @@ _WORKER_CTX: Optional[ExperimentContext] = None
 _WORKER_POLICY: Optional[RetryPolicy] = None
 
 
-def _run_one(experiment_id: str) -> ExperimentRun:
-    """Worker entry point: returns a picklable :class:`ExperimentRun`.
+def _run_one(experiment_id: str) -> ExperimentResult:
+    """Worker entry point: returns a picklable :class:`ExperimentResult`.
 
     ``data`` is deliberately dropped — it can hold arbitrary objects
     (fitted models, graphs) that are expensive or impossible to pickle.
@@ -913,28 +889,10 @@ def _run_one(experiment_id: str) -> ExperimentRun:
     seconds = time.perf_counter() - started
     if outcome.retries:
         tracer.count("experiment.retries", outcome.retries)
-    if outcome.ok:
-        report = outcome.value
-        return ExperimentRun(
-            experiment_id, report.title, report.lines, seconds,
-            attempts=outcome.attempts,
-        )
-    tracer.count("experiment.failed")
-    error = {
-        "type": type(outcome.error).__name__,
-        "message": str(outcome.error),
-        "traceback": outcome.traceback_text,
-        "attempts": outcome.attempts,
-        "failures": outcome.failures,
-    }
-    lines = [
-        f"FAILED after {outcome.attempts} attempt(s): "
-        f"{error['type']}: {error['message']}"
-    ]
-    return ExperimentRun(
-        experiment_id, f"{experiment_id}: FAILED", lines, seconds,
-        error=error, attempts=outcome.attempts,
-    )
+    result = result_from_outcome(experiment_id, outcome, seconds)
+    if not result.ok:
+        tracer.count("experiment.failed")
+    return result
 
 
 def run_all_experiments(
@@ -942,7 +900,8 @@ def run_all_experiments(
     experiment_ids: Optional[Sequence[str]] = None,
     parallel: int = 1,
     policy: Optional[RetryPolicy] = None,
-) -> List[ExperimentRun]:
+    on_result: Optional[Callable[[ExperimentResult], Any]] = None,
+) -> List[ExperimentResult]:
     """Run a set of experiments (default: all), optionally in parallel.
 
     ``parallel > 1`` fans independent experiments across a fork-based
@@ -979,6 +938,15 @@ def run_all_experiments(
         result, hit = cached_generate(scale=0.05)   # writes the cache entry
         ctx = ExperimentContext(result)
         runs = run_all_experiments(ctx, ["table1", "fig01"], parallel=2)
+
+    ``on_result`` (typically :meth:`repro.runs.store.RunHandle.record`)
+    is invoked once per finished :class:`ExperimentResult`.  On the
+    serial path it fires *incrementally* — immediately after each
+    experiment, before the next one starts — so a mid-sweep kill leaves
+    every finished result persisted and the run resumable.  On the
+    parallel path results only exist in the parent once the pool batch
+    returns, so the callback fires for each result after the batch (the
+    run-contract doc spells out this weaker guarantee).
     """
     wanted = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     unknown = [i for i in wanted if i not in EXPERIMENTS]
@@ -989,6 +957,14 @@ def run_all_experiments(
     _WORKER_CTX = ctx
     _WORKER_POLICY = policy
     try:
+        if parallel <= 1 or len(wanted) <= 1:
+            runs = []
+            for experiment_id in wanted:
+                run = _run_one(experiment_id)
+                if on_result is not None:
+                    on_result(run)
+                runs.append(run)
+            return runs
         runs, traces = forked_map(
             _run_one,
             wanted,
@@ -999,6 +975,9 @@ def run_all_experiments(
         )
         for run, trace in zip(runs, traces):
             run.trace = trace
+        if on_result is not None:
+            for run in runs:
+                on_result(run)
     finally:
         _WORKER_CTX = None
         _WORKER_POLICY = None

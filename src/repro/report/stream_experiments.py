@@ -10,11 +10,15 @@ months of history.
 
 Every experiment returns the same :class:`ExperimentReport` type the
 classic registry uses, so downstream rendering and the CLI treat both
-kinds uniformly.
+kinds uniformly — and :func:`run_stream_result` wraps one in the typed
+run-contract (:class:`~repro.runs.contract.ExperimentResult`, retry
+policy and all) so streamed runs persist into the same run store as
+classic reports.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional, Tuple
 
 from ..analysis.streaming import (
@@ -32,9 +36,12 @@ from ..analysis.streaming import (
 from ..analysis.taxonomy import STATUS_ORDER, TYPE_ORDER
 from ..core.eras import ERAS
 from ..core.partitions import PartitionStore
+from ..obs.tracer import get_tracer
+from ..robust.retry import RetryPolicy, run_with_policy
+from ..runs.contract import ExperimentResult, result_from_outcome
 from .experiments import ExperimentReport
 
-__all__ = ["STREAM_EXPERIMENTS", "run_stream_experiment"]
+__all__ = ["STREAM_EXPERIMENTS", "run_stream_experiment", "run_stream_result"]
 
 
 def _growth_lines(points) -> list:
@@ -192,3 +199,41 @@ def run_stream_experiment(
         lines=render(result),
         data=result,
     )
+
+
+def run_stream_result(
+    experiment_id: str,
+    store: PartitionStore,
+    start: Optional[str] = None,
+    end: Optional[str] = None,
+    era: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+) -> ExperimentResult:
+    """Run one streaming experiment under the run-contract.
+
+    The streaming counterpart of the classic runner's ``_run_one``:
+    wraps :func:`run_stream_experiment` in an ``experiment.stream-<id>``
+    span and the batch :class:`~repro.robust.RetryPolicy`, and folds the
+    outcome into a typed :class:`~repro.runs.contract.ExperimentResult`
+    (metrics extracted on success, structured error payload on
+    exhaustion) ready for :meth:`repro.runs.store.RunHandle.record`.
+    """
+    tracer = get_tracer()
+    policy = policy if policy is not None else RetryPolicy()
+    result_id = f"stream-{experiment_id}"
+    started = time.perf_counter()
+    with tracer.span(f"experiment.{result_id}"):
+        outcome = run_with_policy(
+            lambda: run_stream_experiment(
+                experiment_id, store, start=start, end=end, era=era
+            ),
+            policy,
+            on_failure=lambda exc, attempt: tracer.count("experiment.failures"),
+        )
+    seconds = time.perf_counter() - started
+    if outcome.retries:
+        tracer.count("experiment.retries", outcome.retries)
+    result = result_from_outcome(result_id, outcome, seconds)
+    if not result.ok:
+        tracer.count("experiment.failed")
+    return result

@@ -1,0 +1,143 @@
+"""Metric-level comparison of two persisted runs (``repro runs diff``).
+
+Both runs carry the deterministic per-line metric extraction of
+:func:`repro.runs.contract.extract_metrics`, so a diff is a key-aligned
+comparison: for every experiment present in either run, every metric key
+present in both sides yields an absolute delta, keys present on one side
+only are reported as shape drift, and the ``text_sha256`` digests give a
+byte-exactness verdict independent of float formatting.  Two runs of the
+same (seed, config) must diff to zero — that is the store's
+reproducibility contract, exercised in ``tests/test_runs.py`` and the CI
+runs smoke job.
+
+Deltas at or below the caller's ``tolerance`` are treated as equal;
+``tolerance=0.0`` (the default) demands exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .contract import ExperimentResult
+from .store import RunRecord
+
+__all__ = ["MetricDelta", "ExperimentDiff", "RunDiff", "diff_runs"]
+
+
+@dataclass
+class MetricDelta:
+    """One metric key whose values differ beyond the tolerance."""
+
+    key: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return abs(self.a - self.b)
+
+
+@dataclass
+class ExperimentDiff:
+    """Comparison verdict for one experiment id across two runs.
+
+    ``status`` is one of ``identical`` (same rendered bytes),
+    ``equal`` (all shared metrics within tolerance, text differs only in
+    formatting), ``differs``, ``shape-drift`` (metric keys exist on one
+    side only), ``missing-in-a`` / ``missing-in-b`` (no ok result on
+    that side), or ``failed`` (a side recorded a failure payload).
+    """
+
+    experiment_id: str
+    status: str
+    n_compared: int = 0
+    deltas: List[MetricDelta] = field(default_factory=list)
+    only_in_a: List[str] = field(default_factory=list)
+    only_in_b: List[str] = field(default_factory=list)
+
+    @property
+    def max_delta(self) -> float:
+        return max((d.delta for d in self.deltas), default=0.0)
+
+    @property
+    def clean(self) -> bool:
+        return self.status in ("identical", "equal")
+
+
+@dataclass
+class RunDiff:
+    """The full diff between two runs."""
+
+    a_id: str
+    b_id: str
+    tolerance: float
+    experiments: List[ExperimentDiff] = field(default_factory=list)
+
+    @property
+    def differing(self) -> List[ExperimentDiff]:
+        return [e for e in self.experiments if not e.clean]
+
+    @property
+    def identical(self) -> bool:
+        return not self.differing
+
+    @property
+    def n_deltas(self) -> int:
+        return sum(len(e.deltas) for e in self.experiments)
+
+
+def _diff_one(
+    experiment_id: str,
+    a: Optional[ExperimentResult],
+    b: Optional[ExperimentResult],
+    tolerance: float,
+) -> ExperimentDiff:
+    if a is None or not a.ok:
+        status = "failed" if a is not None else "missing-in-a"
+        return ExperimentDiff(experiment_id, status)
+    if b is None or not b.ok:
+        status = "failed" if b is not None else "missing-in-b"
+        return ExperimentDiff(experiment_id, status)
+    diff = ExperimentDiff(experiment_id, "equal")
+    shared = sorted(set(a.metrics) & set(b.metrics))
+    diff.n_compared = len(shared)
+    diff.only_in_a = sorted(set(a.metrics) - set(b.metrics))
+    diff.only_in_b = sorted(set(b.metrics) - set(a.metrics))
+    for key in shared:
+        va, vb = a.metrics[key], b.metrics[key]
+        if abs(va - vb) > tolerance:
+            diff.deltas.append(MetricDelta(key, va, vb))
+    if a.text_digest() == b.text_digest():
+        diff.status = "identical"
+    elif diff.deltas:
+        diff.status = "differs"
+    elif diff.only_in_a or diff.only_in_b:
+        diff.status = "shape-drift"
+    return diff
+
+
+def diff_runs(
+    a: RunRecord,
+    b: RunRecord,
+    tolerance: float = 0.0,
+    experiments: Optional[Sequence[str]] = None,
+) -> RunDiff:
+    """Compare two loaded runs experiment-by-experiment, metric-by-metric.
+
+    ``experiments`` restricts the comparison to the given ids; by
+    default every id planned in either run is compared, in run-a order
+    first.
+    """
+    if experiments is not None:
+        wanted = list(experiments)
+    else:
+        wanted = list(a.planned) + [
+            eid for eid in b.planned if eid not in a.planned
+        ]
+    out = RunDiff(a.run_id, b.run_id, tolerance)
+    for eid in wanted:
+        out.experiments.append(
+            _diff_one(eid, a.results.get(eid), b.results.get(eid), tolerance)
+        )
+    return out

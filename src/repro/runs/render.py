@@ -1,0 +1,142 @@
+"""Text rendering for the ``repro runs`` CLI (list / show / diff).
+
+Pure formatting over the typed objects from :mod:`repro.runs.store` and
+:mod:`repro.runs.diffs` — no I/O, no wall clock, so every renderer is
+trivially testable and the CLI layer stays a thin shell.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .diffs import ExperimentDiff, RunDiff
+from .store import RunRecord
+
+__all__ = ["render_runs_table", "render_run", "render_run_diff"]
+
+_STATUS_GLYPH = {"complete": "ok", "failed": "FAILED", "running": "…"}
+
+
+def render_runs_table(records: List[RunRecord]) -> List[str]:
+    """One line per run: id, status, command, seed/scale, progress."""
+    if not records:
+        return ["(no runs)"]
+    lines = [
+        f"{'RUN':<44} {'STATUS':<8} {'CMD':<7} {'SEED':>9} "
+        f"{'SCALE':>7} {'DONE':>7} {'SECONDS':>8}  CONFIG"
+    ]
+    for rec in records:
+        done = f"{rec.n_recorded}/{len(rec.planned)}"
+        lines.append(
+            f"{rec.run_id:<44} {_STATUS_GLYPH.get(rec.status, rec.status):<8} "
+            f"{rec.context.command:<7} {rec.context.seed:>9} "
+            f"{rec.context.scale:>7g} {done:>7} {rec.total_seconds:>8.2f}  "
+            f"{rec.context.config_sha256[:12]}"
+        )
+    return lines
+
+
+def render_run(record: RunRecord) -> List[str]:
+    """The ``runs show`` body: provenance header + per-experiment table."""
+    ctx = record.context
+    lines = [
+        f"run       : {record.run_id}",
+        f"status    : {record.status}",
+        f"path      : {record.path}",
+        f"command   : {ctx.command}",
+        f"config    : sha256:{ctx.config_sha256}",
+        f"seed/scale: {ctx.seed} @ {ctx.scale:g}",
+        f"engine    : {ctx.engine} (store={ctx.store})",
+        f"policy    : retries={ctx.max_retries} backoff={ctx.retry_backoff:g}s"
+        + (
+            f" timeout={ctx.timeout_seconds:g}s"
+            if ctx.timeout_seconds else ""
+        ),
+    ]
+    if ctx.git_rev:
+        lines.append(f"git       : {ctx.git_rev}")
+    if ctx.package_version or ctx.python_version:
+        lines.append(
+            f"versions  : repro {ctx.package_version or '?'} / "
+            f"python {ctx.python_version or '?'}"
+        )
+    params = dict(ctx.params)
+    if params:
+        rendered = " ".join(f"{k}={params[k]}" for k in sorted(params))
+        lines.append(f"params    : {rendered}")
+    lines.append(f"total     : {record.total_seconds:.2f}s")
+    lines.append("")
+    lines.append(
+        f"{'EXPERIMENT':<16} {'STATUS':<8} {'SECONDS':>8} {'TRIES':>5} "
+        f"{'METRICS':>7}  ARTIFACT"
+    )
+    for eid in record.planned:
+        result = record.results.get(eid)
+        if result is None:
+            lines.append(f"{eid:<16} {'missing':<8} {'-':>8} {'-':>5} {'-':>7}")
+            continue
+        artifact = result.artifacts[0] if result.artifacts else ""
+        lines.append(
+            f"{eid:<16} {result.status:<8} {result.seconds:>8.2f} "
+            f"{result.attempts:>5} {len(result.metrics):>7}  {artifact}"
+        )
+        if result.error is not None:
+            lines.append(
+                f"  error: {result.error.get('type', '?')}: "
+                f"{result.error.get('message', '')}"
+            )
+    return lines
+
+
+def _render_experiment_diff(diff: ExperimentDiff, limit: int) -> List[str]:
+    head = f"{diff.experiment_id:<16} {diff.status}"
+    if diff.status in ("identical", "equal"):
+        suffix = f" ({diff.n_compared} metrics"
+        suffix += ", byte-identical)" if diff.status == "identical" else ")"
+        return [head + suffix]
+    if diff.status in ("missing-in-a", "missing-in-b", "failed"):
+        return [head]
+    lines = [
+        head
+        + f" ({len(diff.deltas)}/{diff.n_compared} metrics differ, "
+        + f"max |Δ| = {diff.max_delta:g})"
+    ]
+    shown = sorted(diff.deltas, key=lambda d: -d.delta)[:limit]
+    for delta in shown:
+        lines.append(
+            f"    {delta.key}: {delta.a:g} -> {delta.b:g} "
+            f"(|Δ| = {delta.delta:g})"
+        )
+    hidden = len(diff.deltas) - len(shown)
+    if hidden > 0:
+        lines.append(f"    … and {hidden} more")
+    if diff.only_in_a:
+        lines.append(f"    keys only in a: {len(diff.only_in_a)}")
+    if diff.only_in_b:
+        lines.append(f"    keys only in b: {len(diff.only_in_b)}")
+    return lines
+
+
+def render_run_diff(diff: RunDiff, limit: int = 5) -> List[str]:
+    """The ``runs diff`` body: per-experiment verdicts, largest deltas first."""
+    lines = [
+        f"diff {diff.a_id}",
+        f"  vs {diff.b_id}",
+        f"tolerance |Δ| <= {diff.tolerance:g}",
+        "",
+    ]
+    for exp in diff.experiments:
+        lines.extend(_render_experiment_diff(exp, limit))
+    lines.append("")
+    if diff.identical:
+        lines.append(
+            f"runs match: 0 metric deltas across "
+            f"{len(diff.experiments)} experiments"
+        )
+    else:
+        differing = diff.differing
+        lines.append(
+            f"runs differ: {len(differing)}/{len(diff.experiments)} "
+            f"experiments, {diff.n_deltas} metric deltas"
+        )
+    return lines

@@ -1,0 +1,250 @@
+"""Run orchestration: execute a context against the store, resume later.
+
+:func:`execute_run` and :func:`execute_stream_run` are the two
+entry points the CLI drives: begin a run directory, fan the context's
+experiments through the registry runner (recording each typed result as
+it lands), seal the run.  :func:`resume_run` is their inverse for an
+interrupted or degraded sweep: reload the persisted
+:class:`~repro.runs.contract.RunContext`, rebuild the dataset through
+the ordinary cache path, and re-execute **only** the experiments
+without an ``ok`` result — under the same retry policy the original
+invocation recorded.
+
+These functions are registered generation entry points for reprolint
+R010 (cache-key completeness): every config field they cause to be read
+must be covered by the cache fingerprint, which is what makes a resumed
+run land on the same cached dataset as the original.
+
+This module never reads the wall clock (reprolint R002); run identity
+comes from the context and ``created_unix`` stamps are passed in by the
+CLI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import Any, List, Optional, Tuple
+
+from ..robust.retry import RetryPolicy
+from ..synth.config import SimulationConfig
+from .contract import ExperimentResult, RunContext
+from .store import RunHandle, RunRecord, RunsError, RunStore
+
+__all__ = [
+    "detect_git_rev",
+    "execute_run",
+    "execute_stream_run",
+    "resume_run",
+]
+
+
+def detect_git_rev(cwd: Optional[str] = None) -> str:
+    """The short git revision of ``cwd``'s checkout, or ``""``.
+
+    Best-effort provenance: a missing ``git`` binary, a non-repo
+    directory, or any other failure degrades to the empty string —
+    provenance must never break a run.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except Exception:  # robust: provenance is best-effort, never fatal
+        return ""
+    if proc.returncode != 0:
+        return ""
+    return proc.stdout.strip()
+
+
+def execute_run(
+    store: Optional[RunStore],
+    context: RunContext,
+    ctx: Any,
+    policy: Optional[RetryPolicy] = None,
+    created_unix: Optional[float] = None,
+) -> Tuple[Optional[RunRecord], List[ExperimentResult]]:
+    """Run the classic experiment suite under ``context``, persisted.
+
+    ``ctx`` is the :class:`~repro.report.experiments.ExperimentContext`
+    the caller already built (the dataset comes from the cache layer,
+    not from here).  With ``store=None`` the suite runs unpersisted and
+    the record comes back ``None`` — the ``--no-run-store`` escape
+    hatch.  Serial sweeps persist each result the moment it finishes,
+    so a mid-sweep kill is resumable (see :func:`resume_run`).
+    """
+    from ..report.experiments import run_all_experiments
+
+    handle: Optional[RunHandle] = None
+    if store is not None:
+        handle = store.begin(context, created_unix=created_unix)
+    results = run_all_experiments(
+        ctx,
+        list(context.experiments),
+        parallel=max(1, context.parallel),
+        policy=policy if policy is not None else context.retry_policy(),
+        on_result=handle.record if handle is not None else None,
+    )
+    record = handle.finish() if handle is not None else None
+    return record, results
+
+
+def execute_stream_run(
+    store: Optional[RunStore],
+    context: RunContext,
+    partition_store: Any,
+    policy: Optional[RetryPolicy] = None,
+    created_unix: Optional[float] = None,
+) -> Tuple[Optional[RunRecord], List[ExperimentResult]]:
+    """Run streaming experiments under ``context``, persisted.
+
+    ``context.experiments`` holds the persisted ``stream-<id>`` result
+    ids; the window/era selection comes from ``context.params``
+    (``start`` / ``end`` / ``era``).  Streaming runs are serial — each
+    result is recorded as it lands, so interrupted stream sweeps resume
+    exactly like classic ones.
+    """
+    handle: Optional[RunHandle] = None
+    if store is not None:
+        handle = store.begin(context, created_unix=created_unix)
+    results = _run_stream_batch(
+        handle, context, partition_store, list(context.experiments), policy
+    )
+    record = handle.finish() if handle is not None else None
+    return record, results
+
+
+def _run_stream_batch(
+    handle: Optional[RunHandle],
+    context: RunContext,
+    partition_store: Any,
+    result_ids: List[str],
+    policy: Optional[RetryPolicy],
+) -> List[ExperimentResult]:
+    from ..report.stream_experiments import run_stream_result
+
+    params = dict(context.params)
+    results: List[ExperimentResult] = []
+    for result_id in result_ids:
+        raw = result_id[len("stream-"):] if result_id.startswith(
+            "stream-"
+        ) else result_id
+        result = run_stream_result(
+            raw,
+            partition_store,
+            start=params.get("start"),
+            end=params.get("end"),
+            era=params.get("era"),
+            policy=policy if policy is not None else context.retry_policy(),
+        )
+        if handle is not None:
+            handle.record(result)
+        results.append(result)
+    return results
+
+
+def _rebuild_config(context: RunContext) -> SimulationConfig:
+    """Reconstruct the original config, or refuse with a clear error."""
+    payload = dict(context.config)
+    if not payload:
+        raise RunsError(
+            "this run records no reconstructable config (it was created "
+            "programmatically, e.g. with custom curves); cannot resume"
+        )
+    try:
+        config = SimulationConfig(**payload)
+    except TypeError as exc:
+        raise RunsError(f"recorded config is not reconstructable: {exc}") from exc
+    from ..synth.cache import config_fingerprint
+
+    fingerprint = config_fingerprint(config)
+    if fingerprint != context.config_sha256:
+        raise RunsError(
+            "recorded config overrides reproduce fingerprint "
+            f"{fingerprint[:12]}… but the run was created from "
+            f"{context.config_sha256[:12]}…; refusing to resume against "
+            "a different dataset"
+        )
+    return config
+
+
+def resume_run(
+    store: RunStore,
+    run_id: str,
+    cache_dir: Optional[str] = None,
+    parallel: Optional[int] = None,
+) -> Tuple[RunRecord, List[str]]:
+    """Complete an interrupted or degraded run in place.
+
+    Loads the run, determines the planned experiments without an ``ok``
+    result (missing after a mid-sweep kill, or recorded failures),
+    rebuilds the dataset through the normal cache path from the
+    persisted context, and re-executes only those — under the retry
+    policy the context recorded.  Returns the sealed record and the ids
+    that were re-executed (empty when the run was already complete; the
+    run is then just re-sealed, refreshing status and index).
+
+    Raises :class:`~repro.runs.store.RunsError` when the recorded
+    config cannot be rebuilt or no longer matches the run's fingerprint.
+    """
+    record = store.load(run_id)
+    pending = record.pending
+    handle = store.reopen(run_id)
+    if not pending:
+        return handle.finish(), []
+    context = record.context
+    config = _rebuild_config(context)
+    overrides = {
+        k: v for k, v in dict(context.config).items()
+        if k not in ("scale", "seed")
+    }
+    policy = context.retry_policy()
+    if context.command == "stream":
+        from ..synth.cache import cached_partitioned_store
+
+        partition_store, _hit = cached_partitioned_store(
+            scale=context.scale,
+            seed=context.seed,
+            cache_dir=cache_dir,
+            **overrides,
+        )
+        _run_stream_batch(handle, context, partition_store, pending, policy)
+        return handle.finish(), pending
+
+    from ..report.experiments import ExperimentContext, run_all_experiments
+
+    if context.store == "partitioned":
+        from ..synth.cache import (
+            cached_partitioned_store,
+            result_from_partitioned_store,
+        )
+
+        partition_store, _hit = cached_partitioned_store(
+            scale=context.scale,
+            seed=context.seed,
+            cache_dir=cache_dir,
+            **overrides,
+        )
+        result = result_from_partitioned_store(partition_store, config)
+    else:
+        from ..synth.cache import cached_generate
+
+        result, _hit = cached_generate(
+            scale=context.scale,
+            seed=context.seed,
+            cache_dir=cache_dir,
+            **overrides,
+        )
+    ctx = ExperimentContext(result, latent_k=context.latent_k)
+    run_all_experiments(
+        ctx,
+        pending,
+        parallel=max(1, parallel if parallel is not None else context.parallel),
+        policy=policy,
+        on_result=handle.record,
+    )
+    return handle.finish(), pending

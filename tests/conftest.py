@@ -6,9 +6,28 @@ most tests only read from them.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.synth import SimulationConfig, MarketSimulator
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_runs_store(tmp_path_factory):
+    """Point the persistent run store at a session temp dir.
+
+    ``repro report`` / ``repro stream`` record into the run store by
+    default; without this, CLI tests would write under the real
+    ``~/.cache/repro/runs``.
+    """
+    previous = os.environ.get("REPRO_RUNS_DIR")
+    os.environ["REPRO_RUNS_DIR"] = str(tmp_path_factory.mktemp("runs-store"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_RUNS_DIR", None)
+    else:
+        os.environ["REPRO_RUNS_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -154,3 +154,16 @@ class TestDiscoveryAndCli:
 class TestSelfCheck:
     def test_repository_docs_are_clean(self):
         assert check_repo(REPO_ROOT) == []
+
+    def test_run_contract_page_is_covered(self):
+        # The runs lifecycle doc must exist, be scanned, and its
+        # `repro.runs.*` references must resolve against src/ — a
+        # renamed store module shows up here, not months later.
+        scanned = {os.path.basename(path) for path in docs_files(REPO_ROOT)}
+        assert "run-contract.md" in scanned
+        page = os.path.join(REPO_ROOT, "docs", "run-contract.md")
+        with open(page, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for ref in ("repro.runs.contract", "repro.runs.store"):
+            assert ref in text, f"run-contract.md should reference {ref}"
+        assert check_file(page, REPO_ROOT) == []

@@ -108,6 +108,12 @@ class TestWallClockInLibrary:
         findings = lint_one("import time\nstamp = time.time()\n")
         assert rule_ids(findings) == ["R002"]
 
+    def test_flags_time_time_ns(self):
+        # run-store ids must stay context-derived, never timestamp-derived
+        findings = lint_one("import time\nstamp = time.time_ns()\n")
+        assert rule_ids(findings) == ["R002"]
+        assert "time.time_ns()" in findings[0].message
+
     def test_flags_datetime_now(self):
         findings = lint_one(
             "import datetime\nwhen = datetime.datetime.now()\n"

@@ -112,6 +112,19 @@ class TestCacheKeyCompleteness:
             for f in findings
         )
 
+    def test_runs_orchestrators_are_entry_points(self):
+        # execute_run / execute_stream_run / resume_run taint config
+        # reads exactly like the generation entry points: a resumed run
+        # must key the same cache entry as its original invocation.
+        for name in ("execute_run", "execute_stream_run", "resume_run"):
+            tree = self._tree()
+            tree["src/repro/eng.py"] = tree["src/repro/eng.py"].replace(
+                "run_engine", name
+            )
+            findings = lint_with(CacheKeyCompleteness(), tree)
+            assert [f.rule for f in findings] == ["R010"], name
+            assert "n_cohorts" in findings[0].message
+
     def test_included_field_is_silent(self):
         tree = self._tree()
         tree["src/repro/fp.py"] = tree["src/repro/fp.py"].replace(
