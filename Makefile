@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults runs-smoke lint lint-changed docscheck typecheck bench bench-smoke bench-gen-smoke bench-stream bench-stream-smoke reproduce reproduce-full clean
+.PHONY: install test test-faults runs-smoke api-smoke lint lint-changed docscheck typecheck bench bench-smoke bench-gen-smoke bench-api-smoke bench-stream bench-stream-smoke reproduce reproduce-full clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +24,14 @@ runs-smoke:
 	PYTHONPATH=src:$(PYTHONPATH) REPRO_RUNS_DIR=.runs-smoke/runs \
 		REPRO_CACHE_DIR=.runs-smoke/cache $(PYTHON) scripts/runs_smoke.py
 	rm -rf .runs-smoke
+
+# Serving-layer acceptance bar (see docs/serving.md): boot the bundled
+# HTTP server on an ephemeral port and check auth (401), deterministic
+# byte-identical replays (memo, then run store across a restart), 429
+# under burst with Retry-After, and 400/404 validation — over real
+# sockets, stdlib client only.
+api-smoke:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) scripts/api_smoke.py
 
 # Project-specific invariant checks (reprolint) plus mypy when installed.
 # `pip install -e .[lint]` pulls mypy in; without it only reprolint runs.
@@ -65,6 +73,17 @@ bench-gen-smoke:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) benchmarks/check_gen_regression.py \
 		BENCH_gen_smoke.json
 
+# API load harness: concurrency sweep (50/200/500 simultaneous
+# keep-alive clients) against the warmed serving layer, publishing
+# p50/p99 latency to BENCH_api.json and gating it against the committed
+# baseline (fails on a >4x slowdown above the 5ms jitter floor, or any
+# request error; refresh with check_api_regression.py --update).
+bench-api-smoke:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) benchmarks/bench_api.py \
+		--out BENCH_api.json
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) benchmarks/check_api_regression.py \
+		BENCH_api.json
+
 # Resident-vs-partitioned query benchmark: wall time + peak RSS (each
 # scenario in its own forked child) for full-history and single-era
 # queries.  The smoke variant only asserts the era query opens exactly
@@ -87,5 +106,5 @@ reproduce-full:
 	$(PYTHON) examples/reproduce_paper.py --scale 1.0 --out reproduction_fullscale
 
 clean:
-	rm -rf reproduction_results benchmarks/results .pytest_cache BENCH_gen_smoke.json BENCH_stream_smoke.json
+	rm -rf reproduction_results benchmarks/results .pytest_cache BENCH_gen_smoke.json BENCH_stream_smoke.json BENCH_api.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,219 @@
+"""Load harness for the repro.serve HTTP layer.
+
+Boots the bundled asyncio server (:class:`repro.serve.BackgroundServer`)
+on an ephemeral port, warms the hot endpoints once (so the sweep
+measures the serving path — memo/store lookup, auth, rate limiting,
+HTTP framing — not dataset generation), then drives a concurrency sweep
+of simultaneous keep-alive clients and reports per-request latency
+percentiles.
+
+Each client is one asyncio task with its own TCP connection issuing
+``--requests`` sequential requests; all clients in a sweep step are
+released together by a shared event, so ``--clients 500`` really means
+500 in-flight connections at once.  Endpoints are assigned round-robin
+per client index, so every step exercises the same deterministic mix.
+
+Usage::
+
+    python benchmarks/bench_api.py --out BENCH_api.json
+    python benchmarks/bench_api.py --clients 50,200,500 --requests 4
+    python benchmarks/check_api_regression.py BENCH_api.json   # gate
+
+The report feeds ``check_api_regression.py`` the same way
+``bench_fastgen.py`` feeds ``check_gen_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, "src")
+
+from repro.serve import BackgroundServer, ServeSettings, create_app  # noqa: E402
+
+API_KEY = "bench-key"
+
+#: Hot endpoints assigned round-robin across clients.  All resolve from
+#: the in-process memo after the warm-up pass.
+MARKET = "scale=0.004&seed=9&posts=false"
+HOT_PATHS = (
+    f"/v1/dataset/summary?{MARKET}",
+    f"/v1/slices/growth?{MARKET}",
+    f"/v1/experiments/table1?{MARKET}",
+    "/v1/meta",
+)
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+async def _client(
+    host: str,
+    port: int,
+    path: str,
+    n_requests: int,
+    start: asyncio.Event,
+    latencies: List[float],
+    errors: List[str],
+) -> None:
+    """One keep-alive connection issuing ``n_requests`` requests."""
+    await start.wait()
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError as exc:
+        errors.append(f"connect: {exc}")
+        return
+    request = (
+        f"GET {path} HTTP/1.1\r\n"
+        f"host: {host}\r\n"
+        f"x-api-key: {API_KEY}\r\n"
+        f"connection: keep-alive\r\n\r\n"
+    ).encode("latin-1")
+    try:
+        for _ in range(n_requests):
+            began = time.perf_counter()
+            writer.write(request)
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            status = int(head.split(b" ", 2)[1])
+            length = 0
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            if length:
+                await reader.readexactly(length)
+            latencies.append((time.perf_counter() - began) * 1000.0)
+            if status != 200:
+                errors.append(f"status {status} for {path}")
+    except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
+        errors.append(f"io: {exc}")
+    finally:
+        writer.close()
+
+
+async def _sweep_step(
+    host: str, port: int, n_clients: int, n_requests: int
+) -> Dict[str, object]:
+    """Run ``n_clients`` simultaneous clients; return latency stats."""
+    start = asyncio.Event()
+    latencies: List[float] = []
+    errors: List[str] = []
+    tasks = [
+        asyncio.ensure_future(
+            _client(host, port, HOT_PATHS[i % len(HOT_PATHS)],
+                    n_requests, start, latencies, errors)
+        )
+        for i in range(n_clients)
+    ]
+    await asyncio.sleep(0.05)  # let every client reach the start gate
+    began = time.perf_counter()
+    start.set()
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - began
+    latencies.sort()
+    return {
+        "clients": n_clients,
+        "requests": len(latencies),
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(len(latencies) / wall, 1) if wall else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p90_ms": round(_percentile(latencies, 0.90), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+        "max_ms": round(latencies[-1], 3) if latencies else 0.0,
+        "errors": len(errors),
+        "error_samples": sorted(set(errors))[:5],
+    }
+
+
+def _warm(server: BackgroundServer) -> None:
+    """Hit every hot endpoint twice: compute once, prove the memo."""
+    import http.client
+
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=600
+    )
+    try:
+        for path in HOT_PATHS:
+            for attempt in ("computed", "warm"):
+                connection.request("GET", path,
+                                   headers={"x-api-key": API_KEY})
+                response = connection.getresponse()
+                response.read()
+                if response.status != 200:
+                    raise SystemExit(
+                        f"warm-up failed: {path} -> {response.status}"
+                    )
+                del attempt
+    finally:
+        connection.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", default="50,200,500",
+                        help="comma-separated concurrency steps")
+    parser.add_argument("--requests", type=int, default=4,
+                        help="sequential requests per client")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    steps: Tuple[int, ...] = tuple(
+        int(token) for token in args.clients.split(",") if token.strip()
+    )
+    workdir = tempfile.mkdtemp(prefix="bench-api-")
+    settings = ServeSettings(
+        api_keys=(API_KEY,),
+        rate_capacity=1_000_000,
+        rate_refill_per_second=1_000_000.0,
+        cache_dir=f"{workdir}/cache",
+        runs_dir=f"{workdir}/runs",
+        use_fork=False,
+        executor_workers=8,
+    )
+    report: Dict[str, object] = {
+        "bench": "api",
+        "python": platform.python_version(),
+        "endpoints": list(HOT_PATHS),
+        "requests_per_client": args.requests,
+        "sweeps": [],
+    }
+    with BackgroundServer(create_app(settings)) as server:
+        print(f"serving on {server.base_url}; warming "
+              f"{len(HOT_PATHS)} endpoints ...", file=sys.stderr)
+        _warm(server)
+        for n_clients in steps:
+            stats = asyncio.run(
+                _sweep_step(server.host, server.port,
+                            n_clients, args.requests)
+            )
+            report["sweeps"].append(stats)
+            print(
+                "clients={clients:>4d}  requests={requests:>5d}  "
+                "p50={p50_ms:>8.3f}ms  p99={p99_ms:>8.3f}ms  "
+                "rps={throughput_rps:>8.1f}  errors={errors}".format(**stats)
+            )
+    failed = sum(int(step["errors"]) for step in report["sweeps"])
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""API-latency regression gate.
+
+Compares a fresh ``bench_api.py`` report against the committed baseline
+(``benchmarks/api_baseline.json``) and fails when any concurrency step
+got more than ``--factor`` times slower at p50 or p99 (default 4x —
+serving latency on shared CI machines is far noisier than the
+generation benchmarks, so the budget is wide) **and** the absolute
+latency exceeds ``--floor-ms`` (default 5 ms — sub-floor latencies are
+dominated by scheduler jitter; a 0.2 ms p50 tripling to 0.6 ms is not a
+regression worth failing CI over).  Any request errors in the current
+report fail the gate outright.
+
+Steps present in only one report are listed but do not fail the gate —
+adding a concurrency step must not break CI until the baseline is
+refreshed.
+
+Usage::
+
+    python benchmarks/bench_api.py --out BENCH_api.json
+    python benchmarks/check_api_regression.py BENCH_api.json
+    python benchmarks/check_api_regression.py --update BENCH_api.json
+
+``--update`` copies the current report over the baseline instead of
+checking — run it (and commit the result) after an intentional change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "api_baseline.json")
+METRICS = ("p50_ms", "p99_ms")
+
+
+def _entries(report: dict) -> dict:
+    """Flatten a bench report to ``{(clients, metric): value}``."""
+    flat = {}
+    for step in report.get("sweeps", []):
+        for metric in METRICS:
+            if step.get(metric):
+                flat[(step["clients"], metric)] = step[metric]
+    return flat
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh bench_api.py JSON report")
+    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                        help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--factor", type=float, default=4.0,
+                        help="failure threshold: current > factor * baseline")
+    parser.add_argument("--floor-ms", type=float, default=5.0,
+                        help="ignore regressions below this absolute latency")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the current report")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    with open(args.current, "r", encoding="utf-8") as handle:
+        current_report = json.load(handle)
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline_report = json.load(handle)
+
+    errors = sum(
+        int(step.get("errors", 0))
+        for step in current_report.get("sweeps", [])
+    )
+    if errors:
+        print(f"FAIL: current report carries {errors} request error(s)")
+        return 1
+
+    current = _entries(current_report)
+    baseline = _entries(baseline_report)
+    failures = []
+    for key in sorted(current):
+        clients, metric = key
+        if key not in baseline:
+            print(f"note: clients={clients} {metric} has no baseline entry")
+            continue
+        now, then = current[key], baseline[key]
+        limit = args.factor * then
+        if now > limit and now > args.floor_ms:
+            failures.append(
+                f"clients={clients} {metric}: {now:.3f}ms vs baseline "
+                f"{then:.3f}ms (limit {limit:.3f}ms)"
+            )
+        else:
+            print(f"ok: clients={clients} {metric}: {now:.3f}ms "
+                  f"(baseline {then:.3f}ms)")
+    for key in sorted(set(baseline) - set(current)):
+        print(f"note: clients={key[0]} {key[1]} missing from current report")
+
+    if failures:
+        print("FAIL: API latency regression")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("API latency within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ Usage::
     python -m repro runs show <run-id>                           # one run in detail
     python -m repro runs diff <run-a> <run-b>                    # metric deltas
     python -m repro runs resume <run-id>                         # finish an interrupted sweep
+    python -m repro serve --api-key KEY --port 8151              # market-as-a-service API
     python -m repro summary --data market/                       # dataset overview
     python -m repro eras --scale 0.05                            # per-era profiles
     python -m repro lint                                         # invariant checks
@@ -245,6 +246,43 @@ def build_parser() -> argparse.ArgumentParser:
     runs_resume.add_argument("--parallel", type=int, default=None,
                              metavar="N",
                              help="override the recorded worker count")
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the market over HTTP: deterministic cached endpoints "
+             "for generation, slices and experiments (see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8151)
+    serve.add_argument("--api-key", action="append", dest="api_keys",
+                       metavar="KEY", default=None,
+                       help="accepted X-API-Key value (repeatable); "
+                            "required unless --no-auth")
+    serve.add_argument("--no-auth", action="store_true",
+                       help="serve without authentication (development "
+                            "only)")
+    serve.add_argument("--rate", type=float, default=10.0, metavar="RPS",
+                       help="sustained per-key requests per second "
+                            "(default: 10)")
+    serve.add_argument("--burst", type=int, default=30, metavar="N",
+                       help="per-key burst budget (default: 30)")
+    serve.add_argument("--max-scale", type=float, default=0.25,
+                       help="largest dataset scale a request may ask for "
+                            "(default: 0.25)")
+    serve.add_argument("--timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="per-request compute time limit, enforced in "
+                            "the forked worker (default: 300)")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="executor threads handling blocking compute "
+                            "(default: 4)")
+    serve.add_argument("--no-fork", action="store_true",
+                       help="compute inline in executor threads instead of "
+                            "forked workers (time limits become advisory)")
+    serve.add_argument("--cache-dir",
+                       help="dataset cache root (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro)")
+    _run_store_args(serve)
 
     docscheck = commands.add_parser(
         "docscheck",
@@ -887,6 +925,42 @@ def _cmd_lint(args) -> int:
     return run_lint_command(args)
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeSettings, create_app
+    from .serve.server import serve_forever
+
+    keys = tuple(args.api_keys or ())
+    if args.no_auth:
+        keys = ()
+    elif not keys:
+        print("refusing to serve unauthenticated: pass --api-key KEY "
+              "(repeatable) or explicit --no-auth", file=sys.stderr)
+        return 2
+    settings = ServeSettings(
+        api_keys=keys,
+        rate_capacity=max(1, args.burst),
+        rate_refill_per_second=max(0.0, args.rate),
+        cache_dir=args.cache_dir,
+        runs_dir=args.runs_dir,
+        use_run_store=not args.no_run_store,
+        max_scale=args.max_scale,
+        timeout_seconds=args.timeout,
+        use_fork=not args.no_fork,
+        executor_workers=max(1, args.workers),
+        clock=time.time,
+    )
+    app = create_app(settings)
+    auth = f"{len(keys)} key(s)" if keys else "DISABLED"
+    print(f"repro serve on http://{args.host}:{args.port} "
+          f"(auth: {auth}, rate: {args.rate:g}/s burst {args.burst}, "
+          f"max scale {args.max_scale:g})", file=sys.stderr)
+    print("endpoints: /healthz /v1/meta /v1/dataset/summary "
+          "/v1/experiments/<id> /v1/reports /v1/slices/<id> /v1/runs",
+          file=sys.stderr)
+    serve_forever(app, args.host, args.port)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if os.environ.get("REPRO_FAULTS"):
         # Deterministic fault injection (tests / make test-faults only):
@@ -905,6 +979,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "export-csv": _cmd_export_csv,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
         "runs": _cmd_runs,
         "docscheck": _cmd_docscheck,

@@ -62,6 +62,13 @@ class RunManifest:
     #: invocations recorded with ``--no-run-store``.  Optional and
     #: ignored by old readers, so the schema version is unchanged.
     run_id: Optional[str] = None
+    #: Id of the API request that caused this run (``repro serve``); the
+    #: first requester of a given :meth:`~repro.runs.contract.RunContext.
+    #: run_key` computes, later identical requests replay, so one
+    #: request id pins the computation's origin.  ``None`` outside the
+    #: serving layer.  Optional and ignored by old readers, so the
+    #: schema version is unchanged.
+    request_id: Optional[str] = None
     params: Dict[str, Any] = field(default_factory=dict)
     dataset: Dict[str, int] = field(default_factory=dict)
     experiments: List[Dict[str, Any]] = field(default_factory=list)

@@ -37,8 +37,8 @@ from .crashpoints import (
     disarm_all_crash_points,
     disarm_crash_point,
 )
-from .locks import FileLock, LockTimeout
-from .parallel import forked_map
+from .locks import DEFAULT_STALE_SECONDS, FileLock, LockTimeout
+from .parallel import forked_call, forked_map
 from .quarantine import quarantine_dir, quarantined_siblings
 from .retry import FATAL_EXCEPTIONS, RetryOutcome, RetryPolicy, run_with_policy
 from .timeout import TimeoutExceeded, time_limit, timeout_supported
@@ -54,8 +54,10 @@ __all__ = [
     "crash_point",
     "disarm_all_crash_points",
     "disarm_crash_point",
+    "DEFAULT_STALE_SECONDS",
     "FileLock",
     "LockTimeout",
+    "forked_call",
     "forked_map",
     "quarantine_dir",
     "quarantined_siblings",

@@ -10,12 +10,16 @@ atomic publication protocol in :mod:`repro.robust.atomic` does that).
 On POSIX the lock is ``fcntl.flock`` on a dedicated ``*.lock`` file,
 which the kernel releases automatically when the holder dies — no stale
 locks.  Where ``fcntl`` is unavailable the fallback is an exclusive
-``O_CREAT | O_EXCL`` sentinel file: weaker (a dead holder leaves the
-sentinel behind until the acquire times out), but the protected
-operation is idempotent — both processes would publish identical
-entries — so the worst case is duplicate work, never corruption.
-Callers are expected to pass a finite ``timeout`` and fall back to
-unlocked (still atomic) publication on :class:`LockTimeout`.
+``O_CREAT | O_EXCL`` sentinel file.  A dead holder leaves the sentinel
+behind, so acquirers break sentinels that are *demonstrably* stale —
+older than ``stale_seconds`` as measured against the filesystem's own
+clock (a freshly-created probe file's mtime), never the process wall
+clock — and bump a ``lock.stale_broken`` counter.  The protected
+operation is idempotent — two processes would publish identical
+entries — so the worst case of a broken sentinel is duplicate work,
+never corruption.  Callers are expected to pass a finite ``timeout``
+and fall back to unlocked (still atomic) publication on
+:class:`LockTimeout`.
 """
 
 from __future__ import annotations
@@ -24,12 +28,20 @@ import os
 import time
 from typing import Optional
 
+from ..obs.tracer import get_tracer
+
 try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["LockTimeout", "FileLock"]
+__all__ = ["LockTimeout", "FileLock", "DEFAULT_STALE_SECONDS"]
+
+#: Default age beyond which a sentinel lock file is considered dead.
+#: Generous: generation of the largest cached artefacts takes minutes,
+#: not tens of minutes, and a too-small threshold would break a *live*
+#: holder's lock (duplicate work, still no corruption).
+DEFAULT_STALE_SECONDS = 600.0
 
 
 class LockTimeout(TimeoutError):
@@ -43,6 +55,12 @@ class FileLock:
     non-blocking attempt.  Use as a context manager, or call
     :meth:`acquire` / :meth:`release` explicitly (e.g. to release before
     returning a cached result).  Deadlines use the monotonic clock.
+
+    ``stale_seconds`` only matters on the sentinel-file fallback path
+    (no ``fcntl``): a sentinel whose mtime is older than this threshold
+    is presumed to belong to a dead holder and is broken; ``None``
+    disables breaking and restores the historical wait-until-timeout
+    behaviour.
     """
 
     def __init__(
@@ -50,10 +68,12 @@ class FileLock:
         path: str,
         timeout: Optional[float] = None,
         poll_seconds: float = 0.05,
+        stale_seconds: Optional[float] = DEFAULT_STALE_SECONDS,
     ) -> None:
         self.path = path
         self.timeout = timeout
         self.poll_seconds = poll_seconds
+        self.stale_seconds = stale_seconds
         self._fd: Optional[int] = None
         self._sentinel = False
 
@@ -86,10 +106,7 @@ class FileLock:
             os.close(fd)
         elif self._sentinel:
             self._sentinel = False
-            try:
-                os.unlink(self.path)
-            except OSError:
-                pass
+            self._unlink_own_sentinel()
 
     def __enter__(self) -> "FileLock":
         return self.acquire()
@@ -112,7 +129,16 @@ class FileLock:
             return True
         return self._try_acquire_sentinel()
 
-    def _try_acquire_sentinel(self) -> bool:  # pragma: no cover - non-POSIX
+    def _try_acquire_sentinel(self) -> bool:
+        if self._create_sentinel():
+            return True
+        if self._break_stale_sentinel():
+            # The dead holder's sentinel is gone; contend for a fresh
+            # one immediately rather than sleeping a poll interval.
+            return self._create_sentinel()
+        return False
+
+    def _create_sentinel(self) -> bool:
         try:
             fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
         except FileExistsError:
@@ -121,3 +147,72 @@ class FileLock:
         os.close(fd)
         self._sentinel = True
         return True
+
+    def _break_stale_sentinel(self) -> bool:
+        """Unlink the sentinel iff it is demonstrably stale.
+
+        Returns True when a stale sentinel was removed.  Staleness is
+        judged against the filesystem clock via :meth:`_sentinel_age`,
+        so a machine whose wall clock jumps cannot break a live lock.
+        """
+        if self.stale_seconds is None:
+            return False
+        age = self._sentinel_age()
+        if age is None or age < self.stale_seconds:
+            return False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            # Lost the race: another acquirer broke it first (or the
+            # holder finally released).  Either way the path is free
+            # to contend for again.
+            return False
+        get_tracer().count("lock.stale_broken")
+        return True
+
+    def _sentinel_age(self) -> Optional[float]:
+        """Sentinel age in seconds, per the filesystem's own clock.
+
+        Creates a short-lived probe file next to the sentinel and
+        compares mtimes, avoiding any read of the process wall clock.
+        ``None`` means the age could not be established (sentinel
+        vanished, probe not creatable) — treated as "not stale".
+        """
+        try:
+            sentinel_mtime = os.stat(self.path).st_mtime
+        except OSError:
+            return None
+        probe = f"{self.path}.probe-{os.getpid()}"
+        try:
+            fd = os.open(probe, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                probe_mtime = os.fstat(fd).st_mtime
+            finally:
+                os.close(fd)
+        except OSError:
+            return None
+        finally:
+            try:
+                os.unlink(probe)
+            except OSError:
+                pass
+        return probe_mtime - sentinel_mtime
+
+    def _unlink_own_sentinel(self) -> None:
+        """Remove the sentinel only if this process still owns it.
+
+        After a (mistaken or racy) stale-break, the path may hold a
+        *different* process's sentinel; unlinking it here would cascade
+        the error.  The pid written at creation is the ownership check.
+        """
+        try:
+            with open(self.path, "r", encoding="ascii") as handle:
+                owner = handle.read().strip()
+        except OSError:
+            return
+        if owner != str(os.getpid()):
+            return
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..obs.tracer import Tracer, get_tracer, set_tracer, tracing_enabled
 
-__all__ = ["forked_map"]
+__all__ = ["forked_map", "forked_call"]
 
 
 class _TracedCall:
@@ -112,3 +112,49 @@ def forked_map(
             results.append(result)
             traces.append(snapshot)
     return (results, traces) if return_traces else results
+
+
+def forked_call(
+    fn: Callable[[Any], Any],
+    item: Any,
+    *,
+    span: str = "parallel.call",
+    broken_counter: str = "parallel.pool_broken",
+    fallback_counter: str = "parallel.call_inline",
+) -> Tuple[Any, bool]:
+    """Run ``fn(item)`` once in a freshly forked child process.
+
+    Returns ``(result, forked)``.  ``forked`` is True when the call
+    actually ran in a child — whose *main* thread it occupies, so
+    ``SIGALRM``-based limits (:func:`repro.robust.timeout.time_limit`)
+    are enforceable there even when the caller is a worker thread of a
+    server.  That is the point: a threaded caller with a hard deadline
+    hops here instead of silently running unbounded (see
+    ``RetryOutcome.enforced``).
+
+    ``fn`` must be a picklable module-level callable and ``item`` a
+    picklable argument; exceptions the child raises propagate to the
+    caller.  Where ``fork`` is unavailable, or the pool breaks before
+    delivering a result, the call reruns inline (``forked=False``) and
+    ``fallback_counter`` / ``broken_counter`` record the degradation —
+    matching :func:`forked_map`'s never-fail contract.  Child tracer
+    snapshots are merged into the parent tracer.
+    """
+    tracer = get_tracer()
+    if "fork" not in multiprocessing.get_all_start_methods():
+        tracer.count(fallback_counter)
+        return fn(item), False
+    with tracer.span(span):
+        try:
+            with ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                result, snapshot = pool.submit(_TracedCall(fn), item).result()
+        except BrokenProcessPool:
+            tracer.count(broken_counter)
+            tracer.count(fallback_counter)
+            return fn(item), False
+        if snapshot is not None:
+            tracer.merge_child(snapshot)
+    return result, True

@@ -19,7 +19,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional, Tuple
 
-from .timeout import TimeoutExceeded, time_limit
+from ..obs.tracer import get_tracer
+from .timeout import TimeoutExceeded, time_limit, timeout_supported
 
 __all__ = ["FATAL_EXCEPTIONS", "RetryPolicy", "RetryOutcome", "run_with_policy"]
 
@@ -68,6 +69,13 @@ class RetryOutcome:
     attempts that raised.  On success ``value`` holds the result and
     ``error`` is ``None``; on exhaustion ``error`` holds the last
     exception and ``traceback_text`` its formatted traceback.
+
+    ``enforced`` is ``False`` when the policy asked for a time limit
+    that could not actually be armed (no ``SIGALRM``, or a non-main
+    thread — e.g. a threaded server).  The call still ran; only the
+    deadline was advisory.  Callers that need a hard bound must hop to
+    a forked worker (:func:`repro.robust.parallel.forked_call`), whose
+    main thread enforces ``SIGALRM`` limits.
     """
 
     value: Any = None
@@ -76,6 +84,7 @@ class RetryOutcome:
     error: Optional[BaseException] = None
     traceback_text: str = ""
     delays_slept: list = field(default_factory=list)
+    enforced: bool = True
 
     @property
     def ok(self) -> bool:
@@ -101,8 +110,21 @@ def run_with_policy(
     delay and retries.  :class:`TimeoutExceeded` is recorded but never
     retried (see :class:`RetryPolicy`).  The ``sleep`` seam exists for
     tests; delays actually slept are recorded on the outcome.
+
+    When the policy requests ``timeout_seconds`` but enforcement is
+    impossible here (see :func:`repro.robust.timeout.timeout_supported`)
+    the outcome is marked ``enforced=False`` and a
+    ``timeout.unenforced`` counter is bumped — a silent no-op limit is
+    exactly the failure mode a threaded caller needs surfaced.
     """
     outcome = RetryOutcome()
+    if (
+        policy.timeout_seconds is not None
+        and policy.timeout_seconds > 0
+        and not timeout_supported()
+    ):
+        outcome.enforced = False
+        get_tracer().count("timeout.unenforced")
     delays = policy.delays()
     while True:
         outcome.attempts += 1

@@ -15,10 +15,17 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
 __all__ = ["TimeoutExceeded", "timeout_supported", "time_limit"]
+
+#: Smallest interval an outer timer is re-armed with.  ``setitimer(0)``
+#: would *disable* the timer, so an outer deadline that expired while an
+#: inner limit was active is restored as "fire almost immediately"
+#: rather than silently dropped.
+_MIN_RESTORE_DELAY = 1e-4
 
 
 class TimeoutExceeded(TimeoutError):
@@ -45,8 +52,11 @@ def time_limit(seconds: Optional[float]) -> Iterator[None]:
     ``None`` or a non-positive value disables the limit, as does an
     environment where enforcement is impossible (no ``SIGALRM``, or a
     non-main thread).  The previous signal handler and any outer
-    interval timer are restored on exit, so nesting an unenforceable
-    inner limit inside an enforced outer one keeps the outer deadline.
+    interval timer are restored on exit.  The outer timer is re-armed
+    with its *remaining* budget — the delay captured at entry minus the
+    monotonic time the inner body consumed — so nesting a limit never
+    extends an enclosing deadline; an outer budget that ran out while
+    the inner limit was active fires within :data:`_MIN_RESTORE_DELAY`.
     """
     if not seconds or seconds <= 0 or not timeout_supported():
         yield
@@ -57,8 +67,14 @@ def time_limit(seconds: Optional[float]) -> Iterator[None]:
 
     previous_handler = signal.signal(signal.SIGALRM, _raise_timeout)
     previous_delay, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    armed_at = time.monotonic()
     try:
         yield
     finally:
-        signal.setitimer(signal.ITIMER_REAL, previous_delay)
+        if previous_delay > 0:
+            elapsed = time.monotonic() - armed_at
+            restore_delay = max(previous_delay - elapsed, _MIN_RESTORE_DELAY)
+        else:
+            restore_delay = 0.0
         signal.signal(signal.SIGALRM, previous_handler)
+        signal.setitimer(signal.ITIMER_REAL, restore_delay)

@@ -1,0 +1,47 @@
+"""repro.serve — the market-as-a-service HTTP layer.
+
+Serves dataset generation, cached streaming slices and the full
+experiment registry over HTTP with deterministic, replayable
+responses: every computing endpoint reduces its request to a
+:class:`~repro.runs.contract.RunContext`, and the context's
+``run_key()`` resolves through an in-process memo, the persistent
+:class:`~repro.runs.store.RunStore` and finally the dataset cache —
+identical requests return byte-identical bodies whichever tier
+answers (``X-Serve-Source`` says which).
+
+The stack is dependency-free: :mod:`repro.serve.asgi` is a minimal
+ASGI 3 toolkit, :mod:`repro.serve.server` a bundled asyncio HTTP/1.1
+server, :mod:`repro.serve.testclient` an in-process client.  Auth
+(:mod:`repro.serve.auth`), per-key token-bucket rate limiting
+(:mod:`repro.serve.ratelimit`) and the service layer
+(:mod:`repro.serve.services` — single-flight compute on executor
+threads and forked workers) are composed by
+:func:`~repro.serve.app.create_app` from one frozen
+:class:`~repro.serve.settings.ServeSettings`.
+
+Start one with ``python -m repro serve --api-key KEY``; see
+``docs/serving.md`` for endpoints, the determinism contract and a
+worked session.
+"""
+
+from .app import create_app
+from .asgi import App, HTTPError, Request, Response
+from .server import BackgroundServer, serve_forever
+from .services import MarketService, ServeReply
+from .settings import ServeSettings
+from .testclient import TestClient, TestResponse
+
+__all__ = [
+    "App",
+    "BackgroundServer",
+    "HTTPError",
+    "MarketService",
+    "Request",
+    "Response",
+    "ServeReply",
+    "ServeSettings",
+    "TestClient",
+    "TestResponse",
+    "create_app",
+    "serve_forever",
+]

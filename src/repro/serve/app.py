@@ -1,0 +1,48 @@
+"""The app factory: settings in, wired ASGI application out.
+
+Middleware order (outermost first): authentication, then rate
+limiting — an unauthenticated probe is rejected before it can burn
+rate-limit tokens, and buckets key on the *verified* API key.  The
+request-id stamp lives in the :class:`~repro.serve.asgi.App` core so
+even 401/429 rejections carry ``X-Request-ID``.
+
+The executor created here is where every blocking
+:meth:`~repro.serve.services.MarketService.execute` call runs; the
+event loop itself only parses, validates and awaits.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from .asgi import App
+from .auth import api_key_middleware
+from .ratelimit import RateLimiter, rate_limit_middleware
+from .routers import register_routes
+from .services import MarketService
+from .settings import ServeSettings
+
+__all__ = ["create_app"]
+
+
+def create_app(settings: Optional[ServeSettings] = None) -> App:
+    """Build a ready-to-serve application from ``settings``."""
+    resolved = settings if settings is not None else ServeSettings()
+    app = App()
+    app.state["settings"] = resolved
+    app.state["service"] = MarketService(resolved)
+    app.state["executor"] = ThreadPoolExecutor(
+        max_workers=max(1, resolved.executor_workers),
+        thread_name_prefix="repro-serve",
+    )
+    app.add_middleware(api_key_middleware(resolved.api_keys))
+    app.add_middleware(
+        rate_limit_middleware(
+            RateLimiter(
+                resolved.rate_capacity, resolved.rate_refill_per_second
+            )
+        )
+    )
+    register_routes(app)
+    return app

@@ -1,0 +1,327 @@
+"""A minimal ASGI 3 toolkit: request/response, routing, middleware.
+
+The serving layer (:mod:`repro.serve`) needs exactly four things from a
+web framework — parse an HTTP request, match a route with path
+parameters, thread middleware around the handler, and render a JSON
+response — and needs them *deterministic*: identical payloads must
+serialize to identical bytes so the replay contract in
+``docs/serving.md`` can promise byte-equality.  This module provides
+those four things against the standard ASGI 3 interface
+(``scope``/``receive``/``send``) with no third-party dependency, so the
+app runs under the bundled :mod:`repro.serve.server`, the in-process
+:mod:`repro.serve.testclient`, or any external ASGI server
+interchangeably.
+
+Handlers are ``async`` and must stay non-blocking: CPU-bound work is
+dispatched through the service layer onto executor threads and forked
+workers (see :mod:`repro.serve.services`), never run on the event loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import urllib.parse
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..obs.tracer import get_tracer
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "Response",
+    "json_bytes",
+    "App",
+]
+
+Headers = List[Tuple[str, str]]
+Handler = Callable[["Request"], Awaitable["Response"]]
+Middleware = Callable[["Request", Handler], Awaitable["Response"]]
+
+
+def json_bytes(payload: Any) -> bytes:
+    """Canonical JSON encoding: sorted keys, fixed separators, UTF-8.
+
+    The determinism contract hangs off this function: two structurally
+    equal payloads — whatever dict insertion order produced them —
+    encode to the same bytes.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class HTTPError(Exception):
+    """An error with an HTTP status; rendered as a JSON error body.
+
+    Raise from handlers or middleware; the app converts it to a
+    ``{"error": ..., "status": ...}`` response carrying ``headers``
+    (e.g. ``Retry-After`` on a 429).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Headers] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers: Headers = list(headers or [])
+
+
+class Request:
+    """One parsed HTTP request.
+
+    ``headers`` keys are lower-cased; ``query`` holds the first value
+    of each query parameter; ``path_params`` is filled by the router;
+    ``state`` is a per-request scratch dict middleware can write to
+    (e.g. the authenticated API key).
+    """
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+        client: str = "",
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+        self.client = client
+        self.path_params: Dict[str, str] = {}
+        self.state: Dict[str, Any] = {}
+        self.app: Optional["App"] = None
+
+    @classmethod
+    def from_scope(cls, scope: Dict[str, Any], body: bytes) -> "Request":
+        headers: Dict[str, str] = {}
+        for raw_name, raw_value in scope.get("headers") or []:
+            headers[raw_name.decode("latin-1").lower()] = raw_value.decode(
+                "latin-1"
+            )
+        query: Dict[str, str] = {}
+        raw_query = scope.get("query_string") or b""
+        for name, value in urllib.parse.parse_qsl(
+            raw_query.decode("latin-1"), keep_blank_values=True
+        ):
+            query.setdefault(name, value)
+        client = scope.get("client") or ("", 0)
+        return cls(
+            method=str(scope.get("method", "GET")).upper(),
+            path=scope.get("path", "/"),
+            query=query,
+            headers=headers,
+            body=body,
+            client=str(client[0]) if client else "",
+        )
+
+    def json(self) -> Any:
+        """The parsed JSON body; :class:`HTTPError` 400 when invalid."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}")
+
+
+class Response:
+    """One HTTP response: status, headers, body bytes."""
+
+    def __init__(
+        self,
+        status: int = 200,
+        body: bytes = b"",
+        content_type: str = "application/json",
+        headers: Optional[Headers] = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers: Headers = list(headers or [])
+
+    @classmethod
+    def json(
+        cls,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Headers] = None,
+    ) -> "Response":
+        """A canonical-JSON response (see :func:`json_bytes`)."""
+        return cls(status=status, body=json_bytes(payload), headers=headers)
+
+    def header_list(self) -> Headers:
+        return [("content-type", self.content_type)] + self.headers
+
+
+class _Route:
+    """One compiled route: method, pattern segments, handler, name."""
+
+    def __init__(
+        self, method: str, pattern: str, handler: Handler, name: str
+    ) -> None:
+        self.method = method.upper()
+        self.pattern = pattern
+        self.handler = handler
+        self.name = name
+        self.segments: Sequence[str] = tuple(
+            seg for seg in pattern.strip("/").split("/") if seg != ""
+        )
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        if method != self.method:
+            return None
+        parts = tuple(seg for seg in path.strip("/").split("/") if seg != "")
+        if len(parts) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for pattern_seg, part in zip(self.segments, parts):
+            if pattern_seg.startswith("{") and pattern_seg.endswith("}"):
+                params[pattern_seg[1:-1]] = part
+            elif pattern_seg != part:
+                return None
+        return params
+
+
+class App:
+    """An ASGI 3 application: routes + middleware + request ids.
+
+    Every response carries an ``X-Request-ID`` header from a
+    process-local counter — deterministic (reprolint R002: no wall
+    clock, no uuid4) and unique within the process, which is what run
+    manifests record.  Middleware wraps handlers outermost-first in the
+    order added.  Unhandled exceptions become JSON 500s; they never
+    propagate to the server.
+    """
+
+    def __init__(self) -> None:
+        self.state: Dict[str, Any] = {}
+        self._routes: List[_Route] = []
+        self._middleware: List[Middleware] = []
+        self._request_counter = itertools.count(1)
+        self._counter_lock = threading.Lock()
+
+    # ------------------------------------------------------------ setup
+
+    def add_route(
+        self,
+        method: str,
+        pattern: str,
+        handler: Handler,
+        name: Optional[str] = None,
+    ) -> None:
+        route_name = name or pattern.strip("/").replace("/", ".") or "root"
+        self._routes.append(_Route(method, pattern, handler, route_name))
+
+    def add_middleware(self, middleware: Middleware) -> None:
+        self._middleware.append(middleware)
+
+    # --------------------------------------------------------- dispatch
+
+    def _next_request_id(self) -> str:
+        with self._counter_lock:
+            return f"req-{next(self._request_counter):06d}"
+
+    def _match(
+        self, method: str, path: str
+    ) -> Tuple[Optional[_Route], Dict[str, str]]:
+        for route in self._routes:
+            params = route.match(method, path)
+            if params is not None:
+                return route, params
+        return None, {}
+
+    async def _dispatch(self, request: Request) -> Response:
+        tracer = get_tracer()
+
+        async def endpoint(req: Request) -> Response:
+            route, params = self._match(req.method, req.path)
+            if route is None:
+                raise HTTPError(404, f"no route for {req.method} {req.path}")
+            req.path_params = params
+            with tracer.span(f"serve.{route.name}"):
+                return await route.handler(req)
+
+        handler: Handler = endpoint
+        for middleware in reversed(self._middleware):
+            handler = _bind(middleware, handler)
+        try:
+            response = await handler(request)
+        except HTTPError as exc:
+            response = Response.json(
+                {"error": exc.message, "status": exc.status},
+                status=exc.status,
+                headers=exc.headers,
+            )
+        except Exception:  # robust: the app is the last line of defence — an unhandled handler bug must become a 500, never tear down the server loop
+            tracer.count("serve.errors")
+            response = Response.json(
+                {"error": "internal server error", "status": 500}, status=500
+            )
+        tracer.count(f"serve.status.{response.status}")
+        return response
+
+    async def __call__(
+        self,
+        scope: Dict[str, Any],
+        receive: Callable[[], Awaitable[Dict[str, Any]]],
+        send: Callable[[Dict[str, Any]], Awaitable[None]],
+    ) -> None:
+        """The ASGI 3 entry point."""
+        if scope.get("type") != "http":
+            return
+        chunks: List[bytes] = []
+        while True:
+            message = await receive()
+            if message["type"] != "http.request":
+                break
+            chunks.append(message.get("body") or b"")
+            if not message.get("more_body"):
+                break
+        request = Request.from_scope(scope, b"".join(chunks))
+        request.app = self
+        request_id = self._next_request_id()
+        request.state["request_id"] = request_id
+        response = await self._dispatch(request)
+        headers = response.header_list() + [("x-request-id", request_id)]
+        await send(
+            {
+                "type": "http.response.start",
+                "status": response.status,
+                "headers": [
+                    (name.encode("latin-1"), value.encode("latin-1"))
+                    for name, value in headers
+                ],
+            }
+        )
+        await send(
+            {
+                "type": "http.response.body",
+                "body": response.body,
+                "more_body": False,
+            }
+        )
+
+
+def _bind(middleware: Middleware, nxt: Handler) -> Handler:
+    async def bound(request: Request) -> Response:
+        return await middleware(request, nxt)
+
+    return bound

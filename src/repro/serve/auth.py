@@ -1,0 +1,53 @@
+"""API-key authentication middleware.
+
+Clients authenticate with an ``X-API-Key`` header checked against the
+configured key set in constant time (``hmac.compare_digest`` — a timing
+side channel on key comparison would undermine the whole scheme).  The
+authenticated key lands in ``request.state["api_key"]``, which is what
+the rate limiter buckets on.  An empty key set disables authentication
+(development mode); ``OPEN_PATHS`` (health probes) are always
+reachable.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Sequence, Tuple
+
+from .asgi import Handler, HTTPError, Middleware, Request, Response
+
+__all__ = ["OPEN_PATHS", "api_key_middleware"]
+
+#: Paths served without authentication: load-balancer health probes
+#: must not need credentials.
+OPEN_PATHS: Tuple[str, ...] = ("/healthz",)
+
+
+def api_key_middleware(
+    api_keys: Sequence[str],
+    open_paths: Sequence[str] = OPEN_PATHS,
+) -> Middleware:
+    """Build the auth middleware for ``api_keys``.
+
+    Raises :class:`~repro.serve.asgi.HTTPError` 401 for a missing or
+    unknown key.  The comparison runs against *every* configured key
+    regardless of early matches, keeping the work independent of which
+    key (if any) matched.
+    """
+    keys = tuple(api_keys)
+    open_set = frozenset(open_paths)
+
+    async def middleware(request: Request, call_next: Handler) -> Response:
+        if not keys or request.path in open_set:
+            return await call_next(request)
+        supplied = request.headers.get("x-api-key", "")
+        matched = False
+        for key in keys:
+            if hmac.compare_digest(supplied, key):
+                matched = True
+        if not matched:
+            raise HTTPError(401, "missing or invalid API key")
+        request.state["api_key"] = supplied
+        return await call_next(request)
+
+    return middleware

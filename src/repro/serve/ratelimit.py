@@ -1,0 +1,121 @@
+"""Token-bucket rate limiting, bucketed per API key.
+
+Each key gets a bucket of ``capacity`` tokens refilled at
+``refill_per_second``; a request takes one token or is rejected with
+429 and a ``Retry-After`` hint.  Buckets are keyed on the
+authenticated API key (falling back to the client address, then to a
+shared anonymous bucket), so one noisy client cannot starve the rest.
+
+Time is read from the *monotonic* clock (reprolint R002 keeps wall
+clocks out of library code, and a wall-clock step would mint or burn
+tokens spuriously); the ``now`` seam exists so tests can drive time by
+hand.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..obs.tracer import get_tracer
+from .asgi import Handler, HTTPError, Middleware, Request, Response
+
+__all__ = ["TokenBucket", "RateLimiter", "rate_limit_middleware"]
+
+
+class TokenBucket:
+    """One client's budget: ``capacity`` burst, ``refill_per_second`` sustained."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_second: float,
+        now: Callable[[], float],
+    ) -> None:
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self._now = now
+        self.tokens = float(capacity)
+        self.updated = now()
+
+    def try_take(self) -> Tuple[bool, float]:
+        """Take one token; returns ``(allowed, retry_after_seconds)``."""
+        now = self._now()
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(
+            self.capacity, self.tokens + elapsed * self.refill_per_second
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        if self.refill_per_second <= 0:
+            return False, float("inf")
+        return False, (1.0 - self.tokens) / self.refill_per_second
+
+
+class RateLimiter:
+    """A lazily-populated map of key → :class:`TokenBucket`.
+
+    Thread-safe: the server may run handlers on several event loops /
+    executor threads (the in-process test client does).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        refill_per_second: float,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.capacity = capacity
+        self.refill_per_second = refill_per_second
+        self._now = now
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def check(self, key: str) -> Tuple[bool, float]:
+        """Charge one request to ``key``'s bucket."""
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.capacity, self.refill_per_second, self._now
+                )
+                self._buckets[key] = bucket
+            return bucket.try_take()
+
+
+def rate_limit_middleware(
+    limiter: RateLimiter,
+    exempt_paths: Sequence[str] = ("/healthz",),
+) -> Middleware:
+    """Build the middleware enforcing ``limiter`` on every request.
+
+    Runs *inside* authentication, so buckets are per verified key and
+    an unauthenticated probe burns no tokens.  The 429 carries an
+    integral ``Retry-After`` (seconds, rounded up, capped at an hour).
+    """
+    exempt = frozenset(exempt_paths)
+
+    async def middleware(request: Request, call_next: Handler) -> Response:
+        if request.path in exempt:
+            return await call_next(request)
+        key = (
+            request.state.get("api_key")
+            or request.client
+            or "anonymous"
+        )
+        allowed, retry_after = limiter.check(str(key))
+        if not allowed:
+            get_tracer().count("serve.rate_limited")
+            wait = min(retry_after, 3600.0)
+            raise HTTPError(
+                429,
+                "rate limit exceeded",
+                headers=[("retry-after", str(max(1, math.ceil(wait))))],
+            )
+        return await call_next(request)
+
+    return middleware

@@ -1,0 +1,52 @@
+"""Configuration for the serving layer.
+
+One frozen :class:`ServeSettings` value wires the whole app: auth keys,
+rate-limit shape, cache/run-store roots, compute bounds and the
+wall-clock seam.  The serving modules themselves never read the wall
+clock (reprolint R002) — the CLI layer, which is allowed to, injects
+``time.time`` via :attr:`ServeSettings.clock` so run records and
+manifests can carry ``created_unix`` stamps; with ``clock=None`` those
+stamps are simply omitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+__all__ = ["ServeSettings"]
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Everything the app factory needs to build a server.
+
+    ``api_keys`` empty means auth is *disabled* (development mode — the
+    CLI refuses that combination unless ``--no-auth`` is explicit).
+    ``rate_capacity`` is the per-key burst budget and
+    ``rate_refill_per_second`` the sustained rate; both are enforced by
+    :mod:`repro.serve.ratelimit`.  ``max_scale`` bounds how large a
+    dataset one request may ask this process to generate.
+    ``use_fork`` routes compute through a forked worker so per-request
+    time limits are actually enforced (``SIGALRM`` needs a main
+    thread — see ``RetryOutcome.enforced``); disabling it runs inline
+    in the executor thread with advisory limits only.
+    """
+
+    api_keys: Tuple[str, ...] = ()
+    rate_capacity: int = 30
+    rate_refill_per_second: float = 10.0
+    cache_dir: Optional[str] = None
+    runs_dir: Optional[str] = None
+    use_run_store: bool = True
+    max_scale: float = 0.25
+    timeout_seconds: Optional[float] = 300.0
+    max_retries: int = 0
+    retry_backoff: float = 0.0
+    use_fork: bool = True
+    executor_workers: int = 4
+    #: Wall-clock seam for ``created_unix`` stamps; injected by the CLI
+    #: (``time.time``), ``None`` in library/test contexts.
+    clock: Optional[Callable[[], float]] = field(
+        default=None, compare=False
+    )

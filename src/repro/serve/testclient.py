@@ -1,0 +1,117 @@
+"""An in-process ASGI test client (no sockets, no server).
+
+Drives the app exactly like :mod:`repro.serve.server` does — same
+scope shape, same receive/send protocol — but synchronously from test
+code, one fresh event loop per request.  That makes it safe to call
+from multiple threads at once, which is how ``tests/test_serve.py``
+proves the single-flight generation contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json as _json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .asgi import App, json_bytes
+
+__all__ = ["TestResponse", "TestClient"]
+
+
+class TestResponse:
+    """Status, headers (lower-cased keys) and raw body of one response."""
+
+    def __init__(
+        self, status: int, headers: Dict[str, str], body: bytes
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        return _json.loads(self.body.decode("utf-8"))
+
+
+class TestClient:
+    """Synchronous requests against an :class:`~repro.serve.asgi.App`."""
+
+    __test__ = False  # not a pytest collectible despite the name
+
+    def __init__(self, app: App) -> None:
+        self.app = app
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+        json: Any = None,
+        body: bytes = b"",
+    ) -> TestResponse:
+        """Issue one request; ``json=`` overrides ``body=``."""
+        payload = json_bytes(json) if json is not None else body
+        return asyncio.run(self._call(method, path, headers or {}, payload))
+
+    def get(
+        self, path: str, *, headers: Optional[Dict[str, str]] = None
+    ) -> TestResponse:
+        return self.request("GET", path, headers=headers)
+
+    def post(
+        self,
+        path: str,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+        json: Any = None,
+    ) -> TestResponse:
+        return self.request("POST", path, headers=headers, json=json)
+
+    async def _call(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> TestResponse:
+        bare_path, _, query = path.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": bare_path,
+            "raw_path": bare_path.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": [
+                (name.encode("latin-1"), value.encode("latin-1"))
+                for name, value in headers.items()
+            ],
+            "client": ("testclient", 0),
+        }
+        messages: List[Dict[str, Any]] = []
+        delivered = {"done": False}
+
+        async def receive() -> Dict[str, Any]:
+            if delivered["done"]:
+                return {"type": "http.disconnect"}
+            delivered["done"] = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        async def send(message: Dict[str, Any]) -> None:
+            messages.append(message)
+
+        await self.app(scope, receive, send)
+        status = 500
+        header_map: Dict[str, str] = {}
+        chunks: List[bytes] = []
+        for message in messages:
+            if message["type"] == "http.response.start":
+                status = int(message["status"])
+                for raw_name, raw_value in message.get("headers") or []:
+                    header_map[raw_name.decode("latin-1").lower()] = (
+                        raw_value.decode("latin-1")
+                    )
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body") or b"")
+        return TestResponse(status, header_map, b"".join(chunks))

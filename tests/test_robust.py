@@ -326,3 +326,241 @@ class TestCrashPoints:
     def test_at_call_must_be_positive(self):
         with pytest.raises(ValueError):
             arm_crash_point("seam", at_call=0)
+
+
+# --------------------------------------------------------------------- #
+# nested time limits (the outer deadline must not stretch)
+# --------------------------------------------------------------------- #
+
+
+class TestNestedTimeLimit:
+    def test_inner_limit_does_not_extend_outer_deadline(self):
+        """Regression: the finally-block used to re-arm the outer timer
+        with its *entry-time* delay, granting the outer budget a free
+        extension equal to the inner body's duration."""
+        if not timeout_supported():
+            pytest.skip("SIGALRM not available here")
+        started = time.monotonic()
+        with pytest.raises(TimeoutExceeded):
+            with time_limit(0.5):
+                with time_limit(5.0):
+                    time.sleep(0.4)  # consumes most of the outer budget
+                time.sleep(2.0)  # must be cut short at ~0.5s total
+        elapsed = time.monotonic() - started
+        assert elapsed < 0.9, (
+            f"outer deadline stretched to {elapsed:.2f}s — inner limit "
+            "restored the stale entry-time delay"
+        )
+
+    def test_outer_budget_exhausted_inside_inner_fires_immediately(self):
+        """When the inner body overruns the whole outer budget, the
+        restore is clamped to a minimal positive tick (setitimer(0)
+        would *disable* the outer timer entirely)."""
+        if not timeout_supported():
+            pytest.skip("SIGALRM not available here")
+        started = time.monotonic()
+        with pytest.raises(TimeoutExceeded):
+            with time_limit(0.2):
+                with time_limit(5.0):
+                    # Overrun the outer budget entirely while the inner
+                    # (longer) limit is armed: the inner timer does not
+                    # fire, so the overrun is only caught at restore.
+                    deadline = time.monotonic() + 0.4
+                    while time.monotonic() < deadline:
+                        pass
+                time.sleep(2.0)
+        elapsed = time.monotonic() - started
+        assert elapsed < 0.8
+
+    def test_inner_within_budget_outer_still_usable(self):
+        if not timeout_supported():
+            pytest.skip("SIGALRM not available here")
+        with time_limit(5.0):
+            with time_limit(1.0):
+                pass
+            value = 41 + 1  # outer limit restored, body continues fine
+        assert value == 42
+
+
+# --------------------------------------------------------------------- #
+# unenforced timeouts are surfaced, never silent
+# --------------------------------------------------------------------- #
+
+
+class TestTimeoutEnforcement:
+    def test_enforced_on_main_thread(self):
+        if not timeout_supported():
+            pytest.skip("SIGALRM not available here")
+        outcome = run_with_policy(lambda: 7, RetryPolicy(timeout_seconds=5.0))
+        assert outcome.ok and outcome.value == 7
+        assert outcome.enforced is True
+
+    def test_no_timeout_requested_is_trivially_enforced(self):
+        import threading
+
+        holder = {}
+
+        def worker():
+            holder["outcome"] = run_with_policy(
+                lambda: 1, RetryPolicy(timeout_seconds=None)
+            )
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert holder["outcome"].enforced is True
+
+    def test_off_main_thread_marks_unenforced_and_counts(self):
+        """Regression: a threaded server requesting timeout_seconds got
+        a silent no-op limit; the outcome must say so and a
+        ``timeout.unenforced`` counter must record it."""
+        import threading
+
+        from repro.obs import NullTracer, Tracer, set_tracer
+
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            holder = {}
+
+            def worker():
+                holder["outcome"] = run_with_policy(
+                    lambda: time.sleep(0.01) or 99,
+                    RetryPolicy(timeout_seconds=0.001),
+                )
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        finally:
+            set_tracer(previous if previous is not None else NullTracer())
+        outcome = holder["outcome"]
+        assert outcome.ok and outcome.value == 99  # ran to completion
+        assert outcome.enforced is False
+        assert tracer.counters.get("timeout.unenforced") == 1
+
+    def test_forked_call_restores_enforcement(self):
+        """The documented escape hatch: hop to a forked child whose main
+        thread *can* arm SIGALRM."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        from repro.robust import forked_call
+
+        outcome, forked = forked_call(_enforced_probe, 0.001)
+        assert forked is True
+        assert outcome["enforced"] is True
+        assert outcome["timed_out"] is True
+
+    def test_forked_call_without_fork_runs_inline(self, monkeypatch):
+        from repro.robust import parallel as parallel_mod
+
+        monkeypatch.setattr(
+            parallel_mod.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        result, forked = parallel_mod.forked_call(_double, 21)
+        assert (result, forked) == (42, False)
+
+
+def _double(value):
+    return value * 2
+
+
+def _enforced_probe(timeout_seconds):
+    """Child-side: run a sleep under a tiny limit, report what happened."""
+    outcome = run_with_policy(
+        lambda: time.sleep(5.0),
+        RetryPolicy(timeout_seconds=timeout_seconds, max_retries=0),
+    )
+    return {
+        "enforced": outcome.enforced,
+        "timed_out": isinstance(outcome.error, TimeoutExceeded),
+    }
+
+
+# --------------------------------------------------------------------- #
+# sentinel locks: stale holders must not block forever
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def _sentinel_mode(monkeypatch):
+    """Force the no-fcntl fallback path."""
+    from repro.robust import locks as locks_mod
+
+    monkeypatch.setattr(locks_mod, "fcntl", None)
+    return locks_mod
+
+
+class TestStaleSentinel:
+    def _plant_sentinel(self, path, age_seconds, pid=999999):
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(str(pid))
+        stat = os.stat(path)
+        os.utime(
+            path,
+            (stat.st_atime - age_seconds, stat.st_mtime - age_seconds),
+        )
+
+    def test_crash_while_held_sentinel_is_broken(self, tmp_path, _sentinel_mode):
+        """Regression: a dead holder's sentinel used to block every
+        acquirer until their timeout expired."""
+        path = str(tmp_path / "x.lock")
+        self._plant_sentinel(path, age_seconds=3600.0)
+        started = time.monotonic()
+        lock = FileLock(path, timeout=5.0, stale_seconds=60.0)
+        lock.acquire()
+        elapsed = time.monotonic() - started
+        assert lock.locked
+        assert elapsed < 1.0, "stale sentinel was waited out, not broken"
+        lock.release()
+        assert not os.path.exists(path)
+
+    def test_fresh_sentinel_is_respected(self, tmp_path, _sentinel_mode):
+        path = str(tmp_path / "x.lock")
+        self._plant_sentinel(path, age_seconds=0.0)
+        with pytest.raises(LockTimeout):
+            FileLock(path, timeout=0.3, stale_seconds=60.0).acquire()
+        assert os.path.exists(path)  # the live holder's sentinel survives
+
+    def test_stale_breaking_disabled_with_none(self, tmp_path, _sentinel_mode):
+        path = str(tmp_path / "x.lock")
+        self._plant_sentinel(path, age_seconds=3600.0)
+        with pytest.raises(LockTimeout):
+            FileLock(path, timeout=0.3, stale_seconds=None).acquire()
+
+    def test_break_is_counted(self, tmp_path, _sentinel_mode):
+        from repro.obs import NullTracer, Tracer, set_tracer
+
+        path = str(tmp_path / "x.lock")
+        self._plant_sentinel(path, age_seconds=3600.0)
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            with FileLock(path, timeout=5.0, stale_seconds=60.0):
+                pass
+        finally:
+            set_tracer(previous if previous is not None else NullTracer())
+        assert tracer.counters.get("lock.stale_broken") == 1
+
+    def test_release_leaves_foreign_sentinel_alone(self, tmp_path, _sentinel_mode):
+        """After a racy break, release() must not unlink a sentinel that
+        a different process re-created in the meantime."""
+        path = str(tmp_path / "x.lock")
+        lock = FileLock(path, timeout=1.0)
+        lock.acquire()
+        # Simulate another process stealing the slot while we held it.
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write("999999")
+        lock.release()
+        assert os.path.exists(path), "released someone else's sentinel"
+        assert not lock.locked
+
+    def test_sentinel_round_trip(self, tmp_path, _sentinel_mode):
+        path = str(tmp_path / "x.lock")
+        with FileLock(path, timeout=1.0) as lock:
+            assert lock.locked
+            with open(path, encoding="ascii") as handle:
+                assert handle.read().strip() == str(os.getpid())
+        assert not os.path.exists(path)
